@@ -1,0 +1,44 @@
+//! P-time: frequent-set miner comparison on correlated baskets.
+//!
+//! Not a paper table — this exercises the mining substrate the
+//! examples use, comparing Apriori, FP-Growth and Eclat at two
+//! support thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use andi_data::synth::quest::{generate, QuestConfig};
+use andi_mining::Algorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_miners(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let db = generate(
+        &QuestConfig {
+            n_items: 150,
+            n_transactions: 4_000,
+            n_patterns: 30,
+            avg_pattern_len: 4,
+            patterns_per_transaction: 2,
+            noise_prob: 0.25,
+            noise_max: 3,
+        },
+        &mut rng,
+    );
+
+    for min_support_pct in [2u64, 5] {
+        let min_support = db.n_transactions() as u64 * min_support_pct / 100;
+        let mut group = c.benchmark_group(format!("mining_minsup_{min_support_pct}pct"));
+        group.sample_size(10);
+        for algo in Algorithm::ALL {
+            group.bench_function(algo.to_string(), |b| {
+                b.iter(|| algo.mine(black_box(&db), min_support))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! P-time: exact permanent computation (Section 4.1's "direct
+//! method").
+//!
+//! Quantifies why the paper abandons exactness: Ryser's `O(2^n · n)`
+//! doubles per added item, motivating the O-estimate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use andi_graph::{expected_cracks, permanent, DenseBigraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: usize, density: f64, seed: u64) -> DenseBigraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DenseBigraph::new(n);
+    for i in 0..n {
+        g.add_edge(i, i); // keep it feasible
+        for j in 0..n {
+            if rng.gen_bool(density) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_permanent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permanent_ryser");
+    group.sample_size(10);
+    for n in [8usize, 12, 16, 20] {
+        let g = random_graph(n, 0.5, n as u64);
+        group.bench_function(format!("n{n}"), |b| b.iter(|| permanent(black_box(&g))));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exact_expected_cracks");
+    group.sample_size(10);
+    for n in [8usize, 12] {
+        let g = random_graph(n, 0.5, n as u64);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| expected_cracks(black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convex(c: &mut Criterion) {
+    use andi_bench::Workload;
+    use andi_data::synth::Analog;
+    use andi_graph::convex::expected_cracks_convex;
+
+    let mut group = c.benchmark_group("convex_exact");
+    group.sample_size(10);
+    // The convex DP handles exactly the cases Ryser cannot: dense
+    // benchmark-scale interval graphs.
+    for analog in [Analog::Chess, Analog::Mushroom, Analog::Connect] {
+        let w = Workload::load(analog);
+        let belief = w.delta_med_belief();
+        let graph = belief.build_graph(&w.supports, w.n_transactions);
+        group.bench_function(w.name.clone(), |b| {
+            b.iter(|| {
+                expected_cracks_convex(black_box(&graph), 3_000_000)
+                    .expect("window fits the budget")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permanent, bench_convex);
+criterion_main!(benches);

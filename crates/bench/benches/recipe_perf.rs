@@ -1,0 +1,34 @@
+//! P-time: end-to-end Assess-Risk recipe cost (Figure 8), the
+//! operation a data owner actually runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use andi_bench::Workload;
+use andi_core::{assess_risk, RecipeConfig};
+use andi_data::synth::Analog;
+
+fn bench_recipe(c: &mut Criterion) {
+    for (label, use_propagation) in [("plain", false), ("propagated", true)] {
+        let mut group = c.benchmark_group(format!("assess_risk_{label}"));
+        group.sample_size(10);
+        for analog in [Analog::Chess, Analog::Connect, Analog::Pumsb] {
+            let w = Workload::load(analog);
+            let config = RecipeConfig {
+                tolerance: 0.1,
+                use_propagation,
+                ..RecipeConfig::default()
+            };
+            group.bench_function(w.name.clone(), |b| {
+                b.iter(|| {
+                    assess_risk(black_box(&w.supports), w.n_transactions, &config)
+                        .expect("valid inputs")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_recipe);
+criterion_main!(benches);

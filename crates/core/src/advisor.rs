@@ -1,0 +1,168 @@
+//! The disclosure advisor: from "withhold" to "withhold *what*".
+//!
+//! When Assess-Risk (Figure 8) comes back uncomfortable, the owner's
+//! real question is what minimal change makes the release safe. This
+//! module proposes **suppression plans**: withhold the most exposed
+//! items (those with the highest estimated crack probability) until
+//! the O-estimate over the remaining release fits the tolerance.
+//! Greedy highest-probability-first is optimal for this objective,
+//! because removing an item removes exactly its own summand from the
+//! O-estimate while no other item's outdegree shrinks — outdegrees
+//! count *anonymized* items, which stay in the release. (Removing
+//! anonymized items as well could only lower other outdegrees and
+//! raise risk, so the plan keeps them conservative.)
+
+use crate::error::{Error, Result};
+use crate::oestimate::OutdegreeProfile;
+
+/// A suppression recommendation.
+#[derive(Clone, Debug)]
+pub struct SuppressionPlan {
+    /// Items to withhold, most exposed first.
+    pub suppress: Vec<usize>,
+    /// Estimated crack probability of each suppressed item (parallel
+    /// to `suppress`).
+    pub exposure: Vec<f64>,
+    /// O-estimate over the remaining items after suppression.
+    pub residual_oestimate: f64,
+    /// The budget (`tolerance · n`) the plan was built against.
+    pub budget: f64,
+    /// Whether the budget is achievable at all (it always is — the
+    /// empty release has estimate 0 — but the flag records whether
+    /// suppression stopped early because the budget was already
+    /// met).
+    pub within_budget: bool,
+}
+
+impl SuppressionPlan {
+    /// Number of items withheld.
+    pub fn n_suppressed(&self) -> usize {
+        self.suppress.len()
+    }
+}
+
+/// Builds a suppression plan for a crack-probability profile.
+///
+/// `tolerance` is the acceptable expected fraction of cracked items,
+/// measured against the *original* domain size (suppressing items
+/// should not loosen the budget).
+///
+/// # Errors
+///
+/// Rejects a tolerance outside `(0, 1]` or an empty profile.
+/// # Examples
+///
+/// ```
+/// use andi_core::{suppression_plan, BeliefFunction, OutdegreeProfile};
+///
+/// let supports = [5u64, 4, 5, 5, 3, 5]; // BigMart
+/// let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 10.0).collect();
+/// let belief = BeliefFunction::point_valued(&freqs).unwrap();
+/// let profile = OutdegreeProfile::plain(&belief.build_graph(&supports, 10));
+/// let plan = suppression_plan(&profile, 0.2).unwrap();
+/// // The two singleton-group items are the whole exposure.
+/// assert_eq!(plan.n_suppressed(), 2);
+/// assert!(plan.within_budget);
+/// ```
+pub fn suppression_plan(profile: &OutdegreeProfile, tolerance: f64) -> Result<SuppressionPlan> {
+    if !(tolerance > 0.0 && tolerance <= 1.0) {
+        return Err(Error::InvalidParameter(format!(
+            "tolerance must be in (0, 1], got {tolerance}"
+        )));
+    }
+    let n = profile.n_items();
+    if n == 0 {
+        return Err(Error::InvalidParameter("empty profile".into()));
+    }
+    let budget = tolerance * n as f64;
+    let mut order: Vec<usize> = (0..n).collect();
+    // Most exposed first; ties by item id for determinism.
+    order.sort_by(|&a, &b| {
+        profile
+            .crack_probability(b)
+            .partial_cmp(&profile.crack_probability(a))
+            .expect("probabilities are finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut remaining: f64 = profile.oestimate();
+    let mut suppress = Vec::new();
+    let mut exposure = Vec::new();
+    for &x in &order {
+        if remaining <= budget {
+            break;
+        }
+        let p = profile.crack_probability(x);
+        if p <= 0.0 {
+            break; // only zero-probability items left; budget met anyway
+        }
+        suppress.push(x);
+        exposure.push(p);
+        remaining -= p;
+    }
+    Ok(SuppressionPlan {
+        suppress,
+        exposure,
+        residual_oestimate: remaining.max(0.0),
+        budget,
+        within_budget: remaining <= budget + 1e-12,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belief::BeliefFunction;
+
+    const BIGMART_SUPPORTS: [u64; 6] = [5, 4, 5, 5, 3, 5];
+
+    fn profile() -> OutdegreeProfile {
+        let freqs: Vec<f64> = BIGMART_SUPPORTS.iter().map(|&s| s as f64 / 10.0).collect();
+        let b = BeliefFunction::point_valued(&freqs).unwrap();
+        OutdegreeProfile::plain(&b.build_graph(&BIGMART_SUPPORTS, 10))
+    }
+
+    #[test]
+    fn suppresses_singletons_first() {
+        // Point-valued BigMart: items 1 and 4 (their own groups) have
+        // probability 1; the rest 1/4. OE = 3, budget at tau 0.2 is
+        // 1.2: suppressing the two singletons leaves OE = 1.0.
+        let plan = suppression_plan(&profile(), 0.2).unwrap();
+        assert_eq!(plan.n_suppressed(), 2);
+        assert!(plan.suppress.contains(&1));
+        assert!(plan.suppress.contains(&4));
+        assert!((plan.residual_oestimate - 1.0).abs() < 1e-12);
+        assert!(plan.within_budget);
+        assert!(plan.exposure.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn generous_budget_needs_no_suppression() {
+        let plan = suppression_plan(&profile(), 0.6).unwrap();
+        assert_eq!(plan.n_suppressed(), 0);
+        assert!((plan.residual_oestimate - 3.0).abs() < 1e-12);
+        assert!(plan.within_budget);
+    }
+
+    #[test]
+    fn tight_budget_suppresses_more() {
+        let loose = suppression_plan(&profile(), 0.3).unwrap();
+        let tight = suppression_plan(&profile(), 0.05).unwrap();
+        assert!(tight.n_suppressed() >= loose.n_suppressed());
+        assert!(tight.residual_oestimate <= tight.budget + 1e-12);
+    }
+
+    #[test]
+    fn exposures_are_sorted_descending() {
+        let plan = suppression_plan(&profile(), 0.01).unwrap();
+        for w in plan.exposure.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(suppression_plan(&profile(), 0.0).is_err());
+        assert!(suppression_plan(&profile(), 1.5).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the core analysis crate.
+
+use std::fmt;
+
+/// Errors raised by the core analysis APIs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// Two structures that must cover the same domain disagree in
+    /// size.
+    DomainMismatch { expected: usize, got: usize },
+    /// A frequency or interval endpoint fell outside `[0, 1]` or the
+    /// interval was inverted.
+    InvalidInterval { item: usize, low: f64, high: f64 },
+    /// A parameter outside its documented range.
+    InvalidParameter(String),
+    /// The mapping space admits no consistent matching to analyze.
+    EmptyMappingSpace,
+    /// The underlying matching sampler failed.
+    Sampler(String),
+    /// A database-layer failure (construction, relabeling).
+    Data(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DomainMismatch { expected, got } => {
+                write!(f, "domain size mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidInterval { item, low, high } => {
+                write!(f, "item {item}: invalid belief interval [{low}, {high}]")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::EmptyMappingSpace => {
+                write!(f, "the space of consistent crack mappings is empty")
+            }
+            Error::Sampler(msg) => write!(f, "sampler failure: {msg}"),
+            Error::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias for the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::DomainMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 5"));
+        let e = Error::InvalidInterval {
+            item: 2,
+            low: 0.7,
+            high: 0.3,
+        };
+        assert!(e.to_string().contains("item 2"));
+        assert!(Error::EmptyMappingSpace.to_string().contains("empty"));
+        assert!(Error::InvalidParameter("tau".into())
+            .to_string()
+            .contains("tau"));
+        assert!(Error::Sampler("x".into()).to_string().contains("x"));
+        assert!(Error::Data("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Closed-form crack expectations for the two extremes (Section 3).
+//!
+//! * Lemma 1 — ignorant belief function (complete bipartite graph):
+//!   `E[X] = 1`.
+//! * Lemma 2 — ignorant, restricted to a subset of interest `I₁`:
+//!   `E[X] = n₁ / n`.
+//! * Lemma 3 — compliant point-valued belief function: `E[X] = g`,
+//!   the number of distinct observed frequencies.
+//! * Lemma 4 — compliant point-valued restricted to `I₁`:
+//!   `E[X] = Σᵢ cᵢ / nᵢ` over frequency groups.
+
+use andi_data::FrequencyGroups;
+
+use crate::error::{Error, Result};
+
+/// Lemma 1: expected cracks under the ignorant belief function.
+///
+/// The mapping space is the complete bipartite graph; each of the `n`
+/// anonymized items is cracked with probability `1/n`, so `E[X] = 1`
+/// for any non-empty domain.
+pub fn ignorant_expected_cracks(n_items: usize) -> f64 {
+    if n_items == 0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// Lemma 2: expected cracks of the items of interest `I₁ ⊆ I` under
+/// the ignorant belief function: `n₁ / n`.
+///
+/// # Errors
+///
+/// `n₁` must not exceed `n`, and `n` must be positive.
+pub fn ignorant_expected_cracks_of_subset(n_items: usize, n_interest: usize) -> Result<f64> {
+    if n_items == 0 {
+        return Err(Error::InvalidParameter("empty domain".into()));
+    }
+    if n_interest > n_items {
+        return Err(Error::InvalidParameter(format!(
+            "subset of interest ({n_interest}) larger than the domain ({n_items})"
+        )));
+    }
+    Ok(n_interest as f64 / n_items as f64)
+}
+
+/// Lemma 3: expected cracks under the compliant point-valued belief
+/// function equal the number of frequency groups `g`.
+///
+/// Items sharing a frequency camouflage each other: within each group
+/// the graph is complete, contributing exactly one expected crack
+/// (Lemma 1), and groups are independent.
+pub fn point_valued_expected_cracks(groups: &FrequencyGroups) -> f64 {
+    groups.n_groups() as f64
+}
+
+/// Lemma 4: expected cracks of the items of interest under the
+/// compliant point-valued belief function: `Σᵢ cᵢ / nᵢ`, where group
+/// `i` holds `nᵢ` items of which `cᵢ` are interesting.
+///
+/// `interest[x]` flags original item `x` as interesting.
+///
+/// # Errors
+///
+/// The mask must cover the whole domain.
+pub fn point_valued_expected_cracks_of_subset(
+    groups: &FrequencyGroups,
+    interest: &[bool],
+) -> Result<f64> {
+    if interest.len() != groups.n_items() {
+        return Err(Error::DomainMismatch {
+            expected: groups.n_items(),
+            got: interest.len(),
+        });
+    }
+    let mut e = 0.0;
+    for g in &groups.groups {
+        let n_i = g.items.len();
+        let c_i = g.items.iter().filter(|x| interest[x.index()]).count();
+        if c_i > 0 {
+            e += c_i as f64 / n_i as f64;
+        }
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andi_data::{bigmart, FrequencyGroups};
+
+    #[test]
+    fn lemma_1_is_one_crack() {
+        assert_eq!(ignorant_expected_cracks(1), 1.0);
+        assert_eq!(ignorant_expected_cracks(16_470), 1.0);
+        assert_eq!(ignorant_expected_cracks(0), 0.0);
+    }
+
+    #[test]
+    fn lemma_2_scales_with_subset() {
+        assert_eq!(ignorant_expected_cracks_of_subset(10, 5).unwrap(), 0.5);
+        assert_eq!(ignorant_expected_cracks_of_subset(4, 4).unwrap(), 1.0);
+        assert_eq!(ignorant_expected_cracks_of_subset(4, 0).unwrap(), 0.0);
+        assert!(ignorant_expected_cracks_of_subset(4, 5).is_err());
+        assert!(ignorant_expected_cracks_of_subset(0, 0).is_err());
+    }
+
+    #[test]
+    fn lemma_3_on_bigmart() {
+        // BigMart has three frequency groups (0.3, 0.4, 0.5).
+        let fg = FrequencyGroups::of_database(&bigmart());
+        assert_eq!(point_valued_expected_cracks(&fg), 3.0);
+    }
+
+    #[test]
+    fn lemma_3_equals_domain_size_when_all_distinct() {
+        let fg = FrequencyGroups::from_supports(&[1, 2, 3, 4], 10);
+        assert_eq!(point_valued_expected_cracks(&fg), 4.0);
+    }
+
+    #[test]
+    fn lemma_4_on_bigmart() {
+        let fg = FrequencyGroups::of_database(&bigmart());
+        // Interested in items 1 (freq .4, its own group) and 0
+        // (freq .5, group of four): E = 1/1 + 1/4.
+        let mut interest = vec![false; 6];
+        interest[1] = true;
+        interest[0] = true;
+        let e = point_valued_expected_cracks_of_subset(&fg, &interest).unwrap();
+        assert!((e - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_full_interest_reduces_to_lemma_3() {
+        let fg = FrequencyGroups::of_database(&bigmart());
+        let interest = vec![true; 6];
+        let e = point_valued_expected_cracks_of_subset(&fg, &interest).unwrap();
+        assert!((e - point_valued_expected_cracks(&fg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_empty_interest_is_zero() {
+        let fg = FrequencyGroups::of_database(&bigmart());
+        let e = point_valued_expected_cracks_of_subset(&fg, &[false; 6]).unwrap();
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn lemma_4_rejects_bad_mask() {
+        let fg = FrequencyGroups::of_database(&bigmart());
+        assert!(point_valued_expected_cracks_of_subset(&fg, &[true; 3]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests of the core analysis layer.
+
+use andi_core::{
+    assess_risk, round_supports, suppression_plan, BeliefFunction, ChainSpec, OutdegreeProfile,
+    RecipeConfig,
+};
+use andi_data::{DatabaseBuilder, FrequencyGroups};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a support profile over m = 200.
+fn profile() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..200, 3..25)
+}
+
+/// Strategy: a small database (as transaction sets).
+fn small_db() -> impl Strategy<Value = Vec<std::collections::BTreeSet<u32>>> {
+    prop::collection::vec(prop::collection::btree_set(0u32..10, 1..6), 3..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With the linear masked-OE curve, `α_max ≈ min(1, τ·n / OE)`.
+    /// The mask averaging introduces only small deviations.
+    #[test]
+    fn alpha_max_tracks_the_linear_formula(
+        supports in profile(),
+        tau_pct in 2u32..40,
+    ) {
+        let tau = tau_pct as f64 / 100.0;
+        let config = RecipeConfig {
+            tolerance: tau,
+            use_propagation: false,
+            n_mask_runs: 8,
+            ..RecipeConfig::default()
+        };
+        let n = supports.len() as f64;
+        let verdict = assess_risk(&supports, 200, &config).unwrap();
+        if let Some(alpha) = verdict.alpha_max() {
+            let predicted = (tau * n / verdict.full_compliance_oe).min(1.0);
+            // The search runs on integer item counts, so quantization
+            // contributes up to ~1/n on top of mask-average noise.
+            let tolerance = 0.2 + 1.5 / n;
+            prop_assert!(
+                (alpha - predicted).abs() < tolerance,
+                "alpha_max {alpha} vs linear prediction {predicted} (n = {n})"
+            );
+        } else {
+            // Disclosure: one of the two early exits fired.
+            let g = FrequencyGroups::from_supports(&supports, 200).n_groups() as f64;
+            prop_assert!(
+                g <= tau * n + 1e-9 || verdict.full_compliance_oe <= tau * n + 1e-9
+            );
+        }
+    }
+
+    /// The chain O-estimate never exceeds the exact Lemma 6 value
+    /// (the Δ table's positivity), across random valid chains.
+    #[test]
+    fn chain_oe_is_a_lower_bound(
+        n1 in 2usize..20, n2 in 2usize..20,
+        e1_frac in 0.0f64..1.0, v1_frac in 0.0f64..1.0,
+    ) {
+        let e1 = ((e1_frac * n1 as f64) as usize).min(n1);
+        let u1 = n1 - e1;
+        let v1 = ((v1_frac * n2 as f64) as usize).min(n2);
+        let s1 = u1 + v1;
+        let e2 = n2 - v1;
+        let chain = ChainSpec::new(vec![n1, n2], vec![e1, e2], vec![s1]);
+        prop_assume!(chain.is_ok());
+        let chain = chain.unwrap();
+        prop_assert!(
+            chain.oestimate() <= chain.expected_cracks() + 1e-9,
+            "OE {} > exact {}",
+            chain.oestimate(),
+            chain.expected_cracks()
+        );
+    }
+
+    /// Support rounding always produces bucket-aligned (or clamped)
+    /// supports and keeps every transaction non-empty.
+    #[test]
+    fn sanitizer_respects_its_contract(
+        txs in small_db(),
+        bucket in 1u64..10,
+        seed in 0u64..500,
+    ) {
+        let mut builder = DatabaseBuilder::new(10);
+        for t in &txs {
+            builder.add(t.iter().copied()).unwrap();
+        }
+        let db = builder.build().unwrap();
+        let m = db.n_transactions() as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sanitized = round_supports(&db, bucket, &mut rng).unwrap();
+        prop_assert_eq!(sanitized.database.n_transactions(), db.n_transactions());
+        for t in sanitized.database.transactions() {
+            prop_assert!(!t.is_empty());
+        }
+        // Supports either hit a bucket boundary, the clamp at m, or
+        // were blocked by the no-empty-transaction rule (deletions
+        // can stall); in the last case the support moved toward the
+        // target.
+        let orig = db.supports();
+        for (x, &s) in sanitized.database.supports().iter().enumerate() {
+            if orig[x] == 0 {
+                prop_assert_eq!(s, 0);
+                continue;
+            }
+            let target = ((orig[x] as f64 / bucket as f64).round() as u64 * bucket)
+                .clamp(bucket.min(m), m);
+            let aligned = s == target;
+            let stalled = target < orig[x] && s >= target && s <= orig[x];
+            prop_assert!(
+                aligned || stalled,
+                "item {x}: support {s}, original {}, target {target}",
+                orig[x]
+            );
+        }
+    }
+
+    /// The suppression plan always meets its budget and never
+    /// suppresses more than necessary (removing its last item would
+    /// breach the budget).
+    #[test]
+    fn suppression_plan_is_tight(supports in profile(), tau_pct in 2u32..50) {
+        let tau = tau_pct as f64 / 100.0;
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 200.0).collect();
+        let belief = BeliefFunction::widened(&freqs, 0.02).unwrap();
+        let graph = belief.build_graph(&supports, 200);
+        let profile = OutdegreeProfile::plain(&graph);
+        let plan = suppression_plan(&profile, tau).unwrap();
+        prop_assert!(plan.within_budget);
+        prop_assert!(plan.residual_oestimate <= plan.budget + 1e-9);
+        if let Some(&last) = plan.exposure.last() {
+            prop_assert!(
+                plan.residual_oestimate + last > plan.budget - 1e-9,
+                "plan suppressed more than needed"
+            );
+        }
+    }
+
+    /// α-compliant perturbation hits the requested compliance
+    /// exactly and leaves untouched items untouched.
+    #[test]
+    fn noncompliant_rewrite_is_surgical(
+        supports in profile(),
+        bad_frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let n = supports.len();
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 200.0).collect();
+        let belief = BeliefFunction::widened(&freqs, 0.03).unwrap();
+        let n_bad = ((bad_frac * n as f64) as usize).min(n);
+        let bad: Vec<usize> = (0..n_bad).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perturbed = belief.with_noncompliant_items(&freqs, &bad, &mut rng);
+        let mask = perturbed.compliance_mask(&freqs);
+        for (x, &ok) in mask.iter().enumerate() {
+            prop_assert_eq!(ok, x >= n_bad, "item {}", x);
+        }
+        for x in n_bad..n {
+            prop_assert_eq!(perturbed.interval(x), belief.interval(x));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Dataset summaries: the descriptive statistics a data owner reads
+//! before running the risk recipe (and the raw material of Figure 9).
+
+use crate::database::Database;
+use crate::stats::{FrequencyGroups, GapStats};
+
+/// A one-stop descriptive summary of a transaction database.
+/// # Examples
+///
+/// ```
+/// use andi_data::{bigmart, DatasetSummary};
+///
+/// let summary = DatasetSummary::of(&bigmart());
+/// assert_eq!(summary.n_groups, 3);
+/// assert_eq!(summary.n_singleton_groups, 2);
+/// println!("{summary}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct DatasetSummary {
+    /// Domain size `n`.
+    pub n_items: usize,
+    /// Transaction count `m`.
+    pub n_transactions: usize,
+    /// Total item occurrences.
+    pub total_occurrences: u64,
+    /// Mean transaction length.
+    pub avg_transaction_len: f64,
+    /// Transaction-length percentiles `(p10, p50, p90, max)`.
+    pub len_percentiles: (usize, usize, usize, usize),
+    /// Density: occurrences / (n · m).
+    pub density: f64,
+    /// Number of frequency groups.
+    pub n_groups: usize,
+    /// Number of singleton frequency groups.
+    pub n_singleton_groups: usize,
+    /// Items that occur in no transaction.
+    pub n_zero_support_items: usize,
+    /// Gap statistics between successive frequency groups.
+    pub gap_stats: Option<GapStats>,
+    /// Gini coefficient of the support distribution (0 = uniform,
+    /// near 1 = extremely skewed).
+    pub support_gini: f64,
+    /// Minimum and maximum item frequency.
+    pub freq_range: (f64, f64),
+}
+
+impl DatasetSummary {
+    /// Computes the summary in two passes over the database.
+    pub fn of(db: &Database) -> Self {
+        let supports = db.supports();
+        let m = db.n_transactions();
+        let groups = FrequencyGroups::from_supports(&supports, m as u64);
+
+        let mut lens: Vec<usize> = db.transactions().iter().map(|t| t.len()).collect();
+        lens.sort_unstable();
+        let pct = |p: f64| lens[((p * (lens.len() - 1) as f64).round()) as usize];
+        let total: u64 = db.total_occurrences();
+
+        let min_s = supports.iter().copied().min().unwrap_or(0);
+        let max_s = supports.iter().copied().max().unwrap_or(0);
+
+        DatasetSummary {
+            n_items: db.n_items(),
+            n_transactions: m,
+            total_occurrences: total,
+            avg_transaction_len: db.avg_transaction_len(),
+            len_percentiles: (pct(0.1), pct(0.5), pct(0.9), *lens.last().unwrap_or(&0)),
+            density: total as f64 / (db.n_items() as f64 * m as f64),
+            n_groups: groups.n_groups(),
+            n_singleton_groups: groups.n_singleton_groups(),
+            n_zero_support_items: supports.iter().filter(|&&s| s == 0).count(),
+            gap_stats: groups.gap_stats(),
+            support_gini: gini(&supports),
+            freq_range: (min_s as f64 / m as f64, max_s as f64 / m as f64),
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative count distribution.
+///
+/// Returns 0 for empty or all-zero input.
+pub fn gini(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    // G = (2 Σ_i i·x_(i) / (n Σ x)) - (n + 1)/n, with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+impl std::fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "items:            {}", self.n_items)?;
+        writeln!(f, "transactions:     {}", self.n_transactions)?;
+        writeln!(f, "occurrences:      {}", self.total_occurrences)?;
+        writeln!(
+            f,
+            "txn length:       mean {:.1}, p10/p50/p90/max {}/{}/{}/{}",
+            self.avg_transaction_len,
+            self.len_percentiles.0,
+            self.len_percentiles.1,
+            self.len_percentiles.2,
+            self.len_percentiles.3
+        )?;
+        writeln!(f, "density:          {:.5}", self.density)?;
+        writeln!(
+            f,
+            "frequency groups: {} ({} singletons)",
+            self.n_groups, self.n_singleton_groups
+        )?;
+        writeln!(f, "zero-support:     {}", self.n_zero_support_items)?;
+        if let Some(g) = self.gap_stats {
+            writeln!(
+                f,
+                "group gaps:       mean {:.6}, median {:.6}, min {:.6}, max {:.5}",
+                g.mean, g.median, g.min, g.max
+            )?;
+        }
+        writeln!(f, "support gini:     {:.3}", self.support_gini)?;
+        write!(
+            f,
+            "frequency range:  [{:.5}, {:.5}]",
+            self.freq_range.0, self.freq_range.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::bigmart;
+
+    #[test]
+    fn bigmart_summary() {
+        let s = DatasetSummary::of(&bigmart());
+        assert_eq!(s.n_items, 6);
+        assert_eq!(s.n_transactions, 10);
+        assert_eq!(s.total_occurrences, 27);
+        assert!((s.avg_transaction_len - 2.7).abs() < 1e-12);
+        assert_eq!(s.n_groups, 3);
+        assert_eq!(s.n_singleton_groups, 2);
+        assert_eq!(s.n_zero_support_items, 0);
+        assert!((s.density - 27.0 / 60.0).abs() < 1e-12);
+        assert_eq!(s.freq_range, (0.3, 0.5));
+        let g = s.gap_stats.unwrap();
+        assert!((g.median - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!((gini(&[5, 5, 5, 5]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let g = gini(&[0, 0, 0, 100]);
+        assert!(g > 0.7, "got {g}");
+        assert!(gini(&[1, 2, 3, 4]) > 0.0);
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert_eq!(gini(&[7]), 0.0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = DatasetSummary::of(&bigmart()).to_string();
+        for needle in ["items:", "transactions:", "gini", "frequency range"] {
+            assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let s = DatasetSummary::of(&bigmart());
+        let (p10, p50, p90, max) = s.len_percentiles;
+        assert!(p10 <= p50 && p50 <= p90 && p90 <= max);
+    }
+}

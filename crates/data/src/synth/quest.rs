@@ -1,0 +1,200 @@
+//! IBM Quest-style correlated market-basket generator.
+//!
+//! The frequency-profile analogs in [`super::profile`] generate items
+//! independently, which is all the disclosure analysis needs. The
+//! frequent-set-mining examples and benches, however, want realistic
+//! *co-occurrence*: transactions assembled from a pool of latent
+//! patterns, in the spirit of Agrawal & Srikant's Quest generator
+//! referenced by the paper's frequent-set lineage \[6\].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::database::Database;
+use crate::item::ItemId;
+use crate::transaction::Transaction;
+
+/// Parameters of the basket generator.
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Domain size.
+    pub n_items: usize,
+    /// Number of transactions to generate.
+    pub n_transactions: usize,
+    /// Number of latent patterns in the pool.
+    pub n_patterns: usize,
+    /// Average pattern length (lengths are `2..=2*avg-2`, uniform).
+    pub avg_pattern_len: usize,
+    /// Patterns drawn per transaction (at least one).
+    pub patterns_per_transaction: usize,
+    /// Probability of adding each of up to `noise_max` random noise
+    /// items to a transaction.
+    pub noise_prob: f64,
+    /// Maximum noise items per transaction.
+    pub noise_max: usize,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            n_items: 200,
+            n_transactions: 2_000,
+            n_patterns: 40,
+            avg_pattern_len: 4,
+            patterns_per_transaction: 2,
+            noise_prob: 0.3,
+            noise_max: 3,
+        }
+    }
+}
+
+/// Generates a correlated basket database.
+///
+/// Patterns themselves are drawn Zipf-ish over the domain so some
+/// items are structurally hotter than others; each transaction is a
+/// union of randomly chosen patterns plus noise items.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no items, patterns
+/// longer than the domain, no transactions).
+/// # Examples
+///
+/// ```
+/// use andi_data::synth::quest::{generate, QuestConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let db = generate(&QuestConfig::default(), &mut rng);
+/// assert_eq!(db.n_items(), 200);
+/// assert!(db.avg_transaction_len() > 2.0);
+/// ```
+pub fn generate<R: Rng + ?Sized>(config: &QuestConfig, rng: &mut R) -> Database {
+    assert!(config.n_items >= 2, "domain too small");
+    assert!(config.n_transactions >= 1, "need at least one transaction");
+    assert!(config.n_patterns >= 1, "need at least one pattern");
+    assert!(
+        config.avg_pattern_len >= 2 && 2 * config.avg_pattern_len - 2 <= config.n_items,
+        "pattern lengths must fit the domain"
+    );
+    assert!(config.patterns_per_transaction >= 1);
+
+    // Zipf-weighted item popularity for pattern construction.
+    let weights: Vec<f64> = (1..=config.n_items)
+        .map(|r| 1.0 / (r as f64).sqrt())
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let pick_item = |rng: &mut R| -> ItemId {
+        let mut t = rng.gen::<f64>() * total_w;
+        for (i, w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                return ItemId(i as u32);
+            }
+        }
+        ItemId((config.n_items - 1) as u32)
+    };
+
+    // Build the latent pattern pool.
+    let min_len = 2;
+    let max_len = 2 * config.avg_pattern_len - 2;
+    let mut patterns: Vec<Vec<ItemId>> = Vec::with_capacity(config.n_patterns);
+    for _ in 0..config.n_patterns {
+        let len = rng.gen_range(min_len..=max_len.max(min_len));
+        let mut p = Vec::with_capacity(len);
+        while p.len() < len {
+            let item = pick_item(rng);
+            if !p.contains(&item) {
+                p.push(item);
+            }
+        }
+        patterns.push(p);
+    }
+
+    let mut transactions = Vec::with_capacity(config.n_transactions);
+    let mut scratch: Vec<ItemId> = Vec::new();
+    for _ in 0..config.n_transactions {
+        scratch.clear();
+        for _ in 0..config.patterns_per_transaction {
+            let p = patterns.choose(rng).expect("pool is non-empty");
+            scratch.extend_from_slice(p);
+        }
+        for _ in 0..config.noise_max {
+            if rng.gen_bool(config.noise_prob) {
+                scratch.push(ItemId(rng.gen_range(0..config.n_items as u32)));
+            }
+        }
+        transactions
+            .push(Transaction::new(scratch.iter().copied()).expect("patterns are non-empty"));
+    }
+    Database::new(config.n_items, transactions).expect("generated database is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let db = generate(&QuestConfig::default(), &mut rng);
+        assert_eq!(db.n_items(), 200);
+        assert_eq!(db.n_transactions(), 2_000);
+        assert!(db.avg_transaction_len() >= 2.0);
+    }
+
+    #[test]
+    fn patterns_create_cooccurrence() {
+        // With few patterns and no noise, some item pair must co-occur
+        // far above the independence expectation.
+        let config = QuestConfig {
+            n_items: 50,
+            n_transactions: 1_000,
+            n_patterns: 5,
+            avg_pattern_len: 3,
+            patterns_per_transaction: 1,
+            noise_prob: 0.0,
+            noise_max: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(32);
+        let db = generate(&config, &mut rng);
+        let f = db.frequencies();
+        let m = db.n_transactions() as f64;
+        let mut max_lift = 0.0f64;
+        for a in 0..10u32 {
+            for b in (a + 1)..10u32 {
+                let joint = db.itemset_support(&[ItemId(a), ItemId(b)]) as f64 / m;
+                let indep = f[a as usize] * f[b as usize];
+                if indep > 0.0 {
+                    max_lift = max_lift.max(joint / indep);
+                }
+            }
+        }
+        assert!(
+            max_lift > 2.0,
+            "expected correlated pairs, best lift was {max_lift}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let config = QuestConfig::default();
+        let a = generate(&config, &mut StdRng::seed_from_u64(33));
+        let b = generate(&config, &mut StdRng::seed_from_u64(33));
+        assert_eq!(a.supports(), b.supports());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain too small")]
+    fn rejects_tiny_domain() {
+        let config = QuestConfig {
+            n_items: 1,
+            ..QuestConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(34);
+        let _ = generate(&config, &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! Power-law (Zipf) support-profile generators.
+//!
+//! These are general-purpose profiles used by property tests,
+//! mining workloads and ad-hoc experiments. The calibrated
+//! per-benchmark analogs live in [`super::profile`].
+
+use rand::Rng;
+
+/// Deterministic Zipf support profile: item of rank `r` (1-based)
+/// gets support `round(top_support / r^theta)`, clamped to
+/// `[min_support, n_transactions]`.
+///
+/// Items are returned in rank order (item 0 is the most frequent).
+///
+/// # Panics
+///
+/// Panics if `n_items == 0`, `top_support == 0`, or
+/// `min_support > top_support`.
+pub fn zipf_supports(
+    n_items: usize,
+    n_transactions: u64,
+    top_support: u64,
+    theta: f64,
+    min_support: u64,
+) -> Vec<u64> {
+    assert!(n_items > 0, "need at least one item");
+    assert!(top_support > 0, "top support must be positive");
+    assert!(
+        min_support <= top_support,
+        "min support {min_support} exceeds top support {top_support}"
+    );
+    (1..=n_items)
+        .map(|r| {
+            let raw = top_support as f64 / (r as f64).powf(theta);
+            (raw.round() as u64).clamp(min_support, n_transactions)
+        })
+        .collect()
+}
+
+/// Random support profile: each item's frequency is drawn as
+/// `u^skew` for `u ~ Uniform(0,1)`, scaled into
+/// `[min_support, max_support]`. `skew > 1` concentrates mass at low
+/// frequencies (the shape of real transaction data); `skew == 1` is
+/// uniform.
+///
+/// # Panics
+///
+/// Panics on an empty domain or an inverted support range.
+pub fn random_supports<R: Rng + ?Sized>(
+    n_items: usize,
+    min_support: u64,
+    max_support: u64,
+    skew: f64,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(n_items > 0, "need at least one item");
+    assert!(
+        min_support <= max_support,
+        "support range is inverted: {min_support} > {max_support}"
+    );
+    let span = (max_support - min_support) as f64;
+    (0..n_items)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            min_support + (u.powf(skew) * span).round() as u64
+        })
+        .collect()
+}
+
+/// One-call synthetic dataset: a Zipf support profile materialized
+/// into transactions.
+///
+/// # Examples
+///
+/// ```
+/// use andi_data::synth::zipf::zipf_database;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let db = zipf_database(50, 500, 250, 1.1, &mut rng);
+/// assert_eq!(db.n_items(), 50);
+/// assert_eq!(db.n_transactions(), 500);
+/// // Head items dominate the tail, Zipf-style.
+/// let s = db.supports();
+/// assert!(s[0] > 5 * s[49]);
+/// ```
+///
+/// # Panics
+///
+/// As [`zipf_supports`] / the materializer: positive domain and
+/// transaction counts, `top_support <= n_transactions`.
+pub fn zipf_database<R: Rng + ?Sized>(
+    n_items: usize,
+    n_transactions: u64,
+    top_support: u64,
+    theta: f64,
+    rng: &mut R,
+) -> crate::database::Database {
+    let supports = zipf_supports(n_items, n_transactions, top_support, theta, 1);
+    crate::synth::materialize::materialize(&supports, n_transactions, rng).database
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_monotone_nonincreasing() {
+        let s = zipf_supports(100, 10_000, 5_000, 1.1, 1);
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(s[0], 5_000);
+        assert!(*s.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn zipf_respects_clamps() {
+        let s = zipf_supports(50, 100, 1_000, 1.0, 3);
+        assert!(s.iter().all(|&x| (3..=100).contains(&x)));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_flat() {
+        let s = zipf_supports(10, 1_000, 42, 0.0, 1);
+        assert!(s.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn random_supports_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = random_supports(500, 10, 90, 2.0, &mut rng);
+        assert!(s.iter().all(|&x| (10..=90).contains(&x)));
+    }
+
+    #[test]
+    fn random_supports_skew_shifts_mass_down() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let flat = random_supports(5_000, 0, 1_000, 1.0, &mut rng);
+        let skewed = random_supports(5_000, 0, 1_000, 4.0, &mut rng);
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&skewed) < mean(&flat) * 0.5,
+            "skew 4 should concentrate well below the uniform mean"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Transactions: non-empty, duplicate-free, sorted sets of items.
+//!
+//! A database `D` is a sequence of transactions `<T1, ..., Tm>` where
+//! each transaction is a non-empty subset of the domain `I`
+//! (Section 2.1). We store a transaction as a sorted, deduplicated
+//! boxed slice of [`ItemId`]s, which makes membership tests
+//! logarithmic and set operations (used heavily by the miners) linear
+//! merges.
+
+use crate::item::ItemId;
+
+/// A single transaction: a sorted, duplicate-free, non-empty set of
+/// items.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Transaction {
+    items: Box<[ItemId]>,
+}
+
+impl Transaction {
+    /// Builds a transaction from an arbitrary collection of item ids,
+    /// sorting and deduplicating.
+    ///
+    /// Returns `None` if the input is empty — the paper's model has no
+    /// empty transactions.
+    pub fn new<I: IntoIterator<Item = ItemId>>(items: I) -> Option<Self> {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            None
+        } else {
+            Some(Transaction {
+                items: v.into_boxed_slice(),
+            })
+        }
+    }
+
+    /// Builds a transaction from items that are already sorted and
+    /// unique.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the invariant does not hold or the
+    /// slice is empty.
+    pub fn from_sorted_unique(items: Vec<ItemId>) -> Self {
+        debug_assert!(!items.is_empty(), "transactions must be non-empty");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
+        Transaction {
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// The items of the transaction in increasing id order.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items in the transaction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Transactions are never empty; provided for clippy-compliance
+    /// and API completeness. Always `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the transaction contains `item` (binary search).
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Whether this transaction contains *every* item of the given
+    /// sorted itemset (linear merge).
+    pub fn contains_all(&self, sorted_items: &[ItemId]) -> bool {
+        let mut t = self.items.iter();
+        'outer: for want in sorted_items {
+            for have in t.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Iterates over the items.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ItemId> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+impl<'a> IntoIterator for &'a Transaction {
+    type Item = ItemId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ItemId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Transaction {
+        Transaction::new(ids.iter().map(|&i| ItemId(i))).expect("non-empty")
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let tx = t(&[3, 1, 2, 3, 1]);
+        assert_eq!(
+            tx.items(),
+            &[ItemId(1), ItemId(2), ItemId(3)],
+            "items must be sorted and unique"
+        );
+        assert_eq!(tx.len(), 3);
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(Transaction::new(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_uses_membership() {
+        let tx = t(&[2, 5, 9]);
+        assert!(tx.contains(ItemId(5)));
+        assert!(!tx.contains(ItemId(4)));
+    }
+
+    #[test]
+    fn contains_all_on_subsets() {
+        let tx = t(&[1, 3, 5, 7, 9]);
+        assert!(tx.contains_all(&[ItemId(1), ItemId(9)]));
+        assert!(tx.contains_all(&[ItemId(3), ItemId(5), ItemId(7)]));
+        assert!(tx.contains_all(&[]));
+        assert!(!tx.contains_all(&[ItemId(2)]));
+        assert!(!tx.contains_all(&[ItemId(1), ItemId(2)]));
+        assert!(!tx.contains_all(&[ItemId(9), ItemId(10)]));
+    }
+
+    #[test]
+    fn from_sorted_unique_accepts_valid() {
+        let tx = Transaction::from_sorted_unique(vec![ItemId(0), ItemId(4)]);
+        assert_eq!(tx.len(), 2);
+        assert!(!tx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_unique_rejects_unsorted() {
+        let _ = Transaction::from_sorted_unique(vec![ItemId(4), ItemId(0)]);
+    }
+
+    #[test]
+    fn iteration_matches_items() {
+        let tx = t(&[8, 2]);
+        let via_iter: Vec<ItemId> = tx.iter().collect();
+        assert_eq!(via_iter, tx.items());
+        let via_ref: Vec<ItemId> = (&tx).into_iter().collect();
+        assert_eq!(via_ref, tx.items());
+    }
+}

@@ -1,0 +1,279 @@
+//! Exact expected-crack computation via permanents (Section 4.1).
+//!
+//! Under the equal-likelihood assumption over consistent crack
+//! mappings, the probability that anonymized item `x'` maps to its
+//! true identity `x` is the fraction of perfect matchings using edge
+//! `(x', x)`:
+//!
+//! ```text
+//! P(crack x) = perm(A with row x' and column x deleted) / perm(A)
+//! ```
+//!
+//! By linearity of expectation, `E[X]` is the sum of these ratios —
+//! this avoids the paper's subset-sum formulation for the expectation
+//! while producing identical values. The full crack-count
+//! *distribution* `P(X = k)` is also provided for tiny domains,
+//! following the paper's formula literally (enumerate cracked subsets
+//! `S`, forbid crack edges outside `S`, count matchings).
+
+use crate::dense::DenseBigraph;
+use crate::permanent::{permanent, permanent_of_rows, MAX_PERMANENT_N};
+
+/// Exact expected number of cracks in the aligned graph `g`.
+///
+/// Returns `None` when the graph has no perfect matching at all (the
+/// mapping space is empty and the expectation is undefined).
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_PERMANENT_N`.
+/// # Examples
+///
+/// ```
+/// use andi_graph::{expected_cracks, DenseBigraph};
+///
+/// // Lemma 1: one expected crack on the complete graph.
+/// let e = expected_cracks(&DenseBigraph::complete(5)).unwrap();
+/// assert!((e - 1.0).abs() < 1e-9);
+///
+/// // No perfect matching -> undefined.
+/// let g = DenseBigraph::from_edges(2, &[(0, 1), (1, 1)]);
+/// assert_eq!(expected_cracks(&g), None);
+/// ```
+pub fn expected_cracks(g: &DenseBigraph) -> Option<f64> {
+    let n = g.n();
+    assert!(
+        n <= MAX_PERMANENT_N,
+        "exact computation limited to n <= {MAX_PERMANENT_N}"
+    );
+    let total = permanent(g);
+    if total == 0 {
+        return None;
+    }
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    let mut e = 0.0f64;
+    for x in 0..n {
+        if !g.has_edge(x, x) {
+            continue;
+        }
+        // Delete row x and column x.
+        let reduced: Vec<u64> = (0..n)
+            .filter(|&i| i != x)
+            .map(|i| delete_column(rows[i], x))
+            .collect();
+        let fixed = permanent_of_rows(&reduced, n - 1);
+        e += fixed as f64 / total as f64;
+    }
+    Some(e)
+}
+
+/// Per-item exact crack probabilities; entry `x` is
+/// `P(x' maps to x)`. `None` if no perfect matching exists.
+pub fn crack_probabilities(g: &DenseBigraph) -> Option<Vec<f64>> {
+    let n = g.n();
+    assert!(n <= MAX_PERMANENT_N);
+    let total = permanent(g);
+    if total == 0 {
+        return None;
+    }
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    let probs = (0..n)
+        .map(|x| {
+            if !g.has_edge(x, x) {
+                return 0.0;
+            }
+            let reduced: Vec<u64> = (0..n)
+                .filter(|&i| i != x)
+                .map(|i| delete_column(rows[i], x))
+                .collect();
+            permanent_of_rows(&reduced, n - 1) as f64 / total as f64
+        })
+        .collect();
+    Some(probs)
+}
+
+/// Removes bit `col` from a row mask, shifting higher bits down by
+/// one (column deletion).
+#[inline]
+fn delete_column(row: u64, col: usize) -> u64 {
+    let low = row & ((1u64 << col) - 1);
+    let high = (row >> (col + 1)) << col;
+    low | high
+}
+
+/// Maximum domain size for the full crack-count distribution.
+pub const MAX_DISTRIBUTION_N: usize = 14;
+
+/// The exact distribution `P(X = k)` of the number of cracks,
+/// `k = 0..=n`, following the paper's Section 4.1 formula.
+///
+/// Returns `None` if the graph has no perfect matching.
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_DISTRIBUTION_N`.
+/// # Examples
+///
+/// ```
+/// use andi_graph::{crack_distribution, DenseBigraph};
+///
+/// let dist = crack_distribution(&DenseBigraph::complete(4)).unwrap();
+/// // Derangement structure: P(X = 3) = 0 (you cannot miss exactly one).
+/// assert!(dist[3].abs() < 1e-12);
+/// let mass: f64 = dist.iter().sum();
+/// assert!((mass - 1.0).abs() < 1e-9);
+/// ```
+pub fn crack_distribution(g: &DenseBigraph) -> Option<Vec<f64>> {
+    let n = g.n();
+    assert!(
+        n <= MAX_DISTRIBUTION_N,
+        "distribution limited to n <= {MAX_DISTRIBUTION_N}"
+    );
+    let total = permanent(g);
+    if total == 0 {
+        return None;
+    }
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    let mut dist = vec![0.0f64; n + 1];
+
+    // Enumerate the subset S of cracked items. A matching cracks
+    // exactly S iff it uses edge (x, x) for x in S and avoids (y, y)
+    // for y outside S: delete S's rows/columns and zero the diagonal
+    // of the remainder.
+    for s in 0u64..(1u64 << n) {
+        // All items of S must actually have their crack edge.
+        let mut feasible = true;
+        let mut bits = s;
+        while bits != 0 {
+            let x = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if rows[x] & (1u64 << x) == 0 {
+                feasible = false;
+                break;
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let k = s.count_ones() as usize;
+        // Build the reduced matrix over items outside S with the
+        // diagonal (crack) entries removed.
+        let keep: Vec<usize> = (0..n).filter(|&i| s & (1u64 << i) == 0).collect();
+        let reduced: Vec<u64> = keep
+            .iter()
+            .map(|&i| {
+                let mut row = rows[i] & !(1u64 << i); // forbid own crack
+                                                      // Delete the S columns (descending so shifts stay valid).
+                for x in (0..n).rev() {
+                    if s & (1u64 << x) != 0 {
+                        row = delete_column(row, x);
+                    }
+                }
+                row
+            })
+            .collect();
+        let count = permanent_of_rows(&reduced, keep.len());
+        if count > 0 {
+            dist[k] += count as f64 / total as f64;
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_expectation_is_one() {
+        // Lemma 1: E[X] = 1 for the complete bipartite graph.
+        for n in 1..=8usize {
+            let g = DenseBigraph::complete(n);
+            let e = expected_cracks(&g).unwrap();
+            assert!((e - 1.0).abs() < 1e-9, "n={n}: E={e}");
+        }
+    }
+
+    #[test]
+    fn staircase_cracks_everything() {
+        // Figure 6(a): the unique perfect matching cracks all four.
+        let mut g = DenseBigraph::new(4);
+        for j in 0..4 {
+            for i in 0..=j {
+                g.add_edge(i, j);
+            }
+        }
+        assert!((expected_cracks(&g).unwrap() - 4.0).abs() < 1e-12);
+        let p = crack_probabilities(&g).unwrap();
+        assert!(p.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn two_blocks_expectation_is_two() {
+        // Lemma 3 with g = 2 groups.
+        let mut g = DenseBigraph::new(5);
+        for i in 0..2 {
+            for j in 0..2 {
+                g.add_edge(i, j);
+            }
+        }
+        for i in 2..5 {
+            for j in 2..5 {
+                g.add_edge(i, j);
+            }
+        }
+        assert!((expected_cracks(&g).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_graph_returns_none() {
+        let g = DenseBigraph::from_edges(2, &[(0, 1), (1, 1)]);
+        assert_eq!(expected_cracks(&g), None);
+        assert_eq!(crack_probabilities(&g), None);
+        assert_eq!(crack_distribution(&g), None);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_matches_expectation() {
+        let g = DenseBigraph::complete(5);
+        let dist = crack_distribution(&g).unwrap();
+        let mass: f64 = dist.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "total mass {mass}");
+        let mean: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+        // Complete graph cracks follow the derangement law:
+        // P(X = n-1) = 0 (can't miss exactly one).
+        assert!(dist[4].abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_of_the_bigmart_point_belief() {
+        // Groups {1',3',4',6'}, {2'}, {5'}: cracks = 2 + cracks in a
+        // complete 4-group. E[X] = 3 = g (Lemma 3).
+        let mut g = DenseBigraph::new(6);
+        for &i in &[0usize, 2, 3, 5] {
+            for &j in &[0usize, 2, 3, 5] {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge(1, 1);
+        g.add_edge(4, 4);
+        let e = expected_cracks(&g).unwrap();
+        assert!((e - 3.0).abs() < 1e-9);
+        let dist = crack_distribution(&g).unwrap();
+        // X is always at least 2 (the singletons are forced cracks).
+        assert!(dist[0].abs() < 1e-12);
+        assert!(dist[1].abs() < 1e-12);
+        let mean: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        assert!((mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delete_column_shifts() {
+        // row bits {0, 2, 5}; deleting column 2 leaves {0, 4}.
+        assert_eq!(delete_column(0b100101, 2), 0b10001);
+        // Deleting an unset column just shifts the higher bits.
+        assert_eq!(delete_column(0b100101, 1), 0b10011);
+        assert_eq!(delete_column(0b1, 0), 0);
+    }
+}

@@ -1,0 +1,544 @@
+//! Grouped (interval) bipartite graphs.
+//!
+//! For interval belief functions, the consistent-mapping graph has
+//! special structure: anonymized items with equal observed frequency
+//! are interchangeable (they form the *frequency groups* of
+//! Section 3.2), and every original item's candidate set is a
+//! *contiguous range* of frequency groups — the anonymized items
+//! whose observed frequency falls inside the item's belief interval.
+//!
+//! [`GroupedBigraph`] exploits this: it stores the sorted frequency
+//! groups once, plus one group range per original item. Outdegrees
+//! (`O_x`) come from prefix sums in `O(log k)` each — this is the
+//! `O(|D| + n log n)` implementation the paper sketches under
+//! Figure 5 — and a maximum consistent matching comes from the
+//! classical deadline-greedy in `O(n log n)`.
+
+use crate::dense::DenseBigraph;
+
+/// A bipartite mapping-space graph in grouped interval form.
+///
+/// Indexing is *aligned*: left (anonymized) index `i` corresponds to
+/// original (right) index `i`; a crack is a matching edge `(i, i)`.
+///
+/// # Examples
+///
+/// The BigMart mapping space under the belief function `h` of
+/// Figure 2 — `O_x` counts how many anonymized items could be `x`:
+///
+/// ```
+/// use andi_graph::GroupedBigraph;
+///
+/// let supports = [5u64, 4, 5, 5, 3, 5];
+/// let intervals = vec![
+///     (0.0, 1.0), (0.4, 0.5), (0.5, 0.5),
+///     (0.4, 0.6), (0.1, 0.4), (0.5, 0.5),
+/// ];
+/// let g = GroupedBigraph::new(&supports, 10, &intervals);
+/// assert_eq!(g.n_groups(), 3);
+/// assert_eq!(g.outdegrees(), vec![6, 5, 4, 5, 2, 4]);
+/// assert!(g.has_edge(0, 1)); // 1' (freq .5) could be item 2
+/// assert!(!g.has_edge(0, 4)); // ...but not item 5 ([0.1, 0.4])
+/// ```
+#[derive(Clone, Debug)]
+pub struct GroupedBigraph {
+    /// Distinct support counts, strictly increasing.
+    group_supports: Vec<u64>,
+    /// Number of (anonymized) items in each frequency group.
+    group_sizes: Vec<usize>,
+    /// Prefix sums of `group_sizes`; `prefix[k]` = items in groups
+    /// `0..k`.
+    prefix: Vec<usize>,
+    /// Left item -> its frequency-group index.
+    left_group: Vec<usize>,
+    /// Right item -> inclusive candidate group range, or `None` when
+    /// the belief interval contains no observed frequency.
+    right_range: Vec<Option<(usize, usize)>>,
+    /// Transaction count the supports are relative to.
+    n_transactions: u64,
+    /// Members of each group (left item indices, increasing).
+    group_members: Vec<Vec<usize>>,
+}
+
+impl GroupedBigraph {
+    /// Builds the graph for observed supports (aligned indexing) and
+    /// per-item belief intervals `[l, r]` over frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, `m == 0`, any support exceeds `m`,
+    /// or an interval is inverted.
+    pub fn new(supports: &[u64], n_transactions: u64, intervals: &[(f64, f64)]) -> Self {
+        assert_eq!(
+            supports.len(),
+            intervals.len(),
+            "supports and intervals must cover the same domain"
+        );
+        assert!(n_transactions > 0, "need at least one transaction");
+        let n = supports.len();
+        let m = n_transactions as f64;
+
+        // Distinct supports ascending + membership.
+        let mut distinct: Vec<u64> = supports.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let k = distinct.len();
+        let mut group_sizes = vec![0usize; k];
+        let mut left_group = vec![0usize; n];
+        let mut group_members = vec![Vec::new(); k];
+        for (i, &s) in supports.iter().enumerate() {
+            assert!(s <= n_transactions, "item {i} support {s} exceeds m");
+            let g = distinct.binary_search(&s).expect("support is in the index");
+            group_sizes[g] += 1;
+            left_group[i] = g;
+            group_members[g].push(i);
+        }
+        let mut prefix = vec![0usize; k + 1];
+        for g in 0..k {
+            prefix[g + 1] = prefix[g] + group_sizes[g];
+        }
+
+        let freqs: Vec<f64> = distinct.iter().map(|&s| s as f64 / m).collect();
+        let right_range = intervals
+            .iter()
+            .enumerate()
+            .map(|(y, &(l, r))| {
+                assert!(l <= r, "item {y} has inverted interval [{l}, {r}]");
+                // First group with frequency >= l.
+                let lo = freqs.partition_point(|&f| f < l);
+                // First group with frequency > r.
+                let hi = freqs.partition_point(|&f| f <= r);
+                if lo < hi {
+                    Some((lo, hi - 1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        GroupedBigraph {
+            group_supports: distinct,
+            group_sizes,
+            prefix,
+            left_group,
+            right_range,
+            n_transactions,
+            group_members,
+        }
+    }
+
+    /// Domain size per side.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.left_group.len()
+    }
+
+    /// Number of frequency groups `k`.
+    #[inline]
+    pub fn n_groups(&self) -> usize {
+        self.group_supports.len()
+    }
+
+    /// Sizes of the frequency groups, ascending frequency order.
+    #[inline]
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Distinct support counts, ascending.
+    #[inline]
+    pub fn group_supports(&self) -> &[u64] {
+        &self.group_supports
+    }
+
+    /// Transaction count.
+    #[inline]
+    pub fn n_transactions(&self) -> u64 {
+        self.n_transactions
+    }
+
+    /// Frequency of group `g`.
+    #[inline]
+    pub fn group_frequency(&self, g: usize) -> f64 {
+        self.group_supports[g] as f64 / self.n_transactions as f64
+    }
+
+    /// The frequency-group index of (anonymized) item `i`.
+    #[inline]
+    pub fn left_group_of(&self, i: usize) -> usize {
+        self.left_group[i]
+    }
+
+    /// Left item indices belonging to group `g`.
+    #[inline]
+    pub fn group_members(&self, g: usize) -> &[usize] {
+        &self.group_members[g]
+    }
+
+    /// The candidate group range of original item `y`.
+    #[inline]
+    pub fn right_range_of(&self, y: usize) -> Option<(usize, usize)> {
+        self.right_range[y]
+    }
+
+    /// Whether edge `(left, right)` exists: left's observed frequency
+    /// group lies inside right's candidate range. O(1).
+    #[inline]
+    pub fn has_edge(&self, left: usize, right: usize) -> bool {
+        match self.right_range[right] {
+            Some((lo, hi)) => {
+                let g = self.left_group[left];
+                lo <= g && g <= hi
+            }
+            None => false,
+        }
+    }
+
+    /// The paper's `O_x`: the number of anonymized items that can map
+    /// to original item `x`. Prefix-sum lookup, O(1).
+    #[inline]
+    pub fn outdegree(&self, x: usize) -> usize {
+        match self.right_range[x] {
+            Some((lo, hi)) => self.prefix[hi + 1] - self.prefix[lo],
+            None => 0,
+        }
+    }
+
+    /// All outdegrees.
+    pub fn outdegrees(&self) -> Vec<usize> {
+        (0..self.n()).map(|x| self.outdegree(x)).collect()
+    }
+
+    /// Whether item `x` is *compliant* in graph terms: its own
+    /// anonymized counterpart is among its candidates, i.e. the crack
+    /// edge `(x', x)` exists.
+    #[inline]
+    pub fn crack_edge_exists(&self, x: usize) -> bool {
+        self.has_edge(x, x)
+    }
+
+    /// Total number of edges.
+    pub fn n_edges(&self) -> usize {
+        (0..self.n()).map(|x| self.outdegree(x)).sum()
+    }
+
+    /// Materializes the dense bitset form (for permanents,
+    /// propagation and exactness tests). Quadratic; intended for
+    /// modest domains.
+    pub fn to_dense(&self) -> DenseBigraph {
+        let n = self.n();
+        let mut g = DenseBigraph::new(n);
+        for y in 0..n {
+            if let Some((lo, hi)) = self.right_range[y] {
+                for grp in lo..=hi {
+                    for &i in &self.group_members[grp] {
+                        g.add_edge(i, y);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Partitions the original items into *belief groups* — the
+    /// paper's Figure 3(b) view: items belong to the same belief
+    /// group iff the same set of anonymized items can map to them
+    /// (for interval graphs, iff their candidate group ranges are
+    /// equal). Groups are returned ordered by range.
+    pub fn belief_groups(&self) -> Vec<BeliefGroup> {
+        let mut by_range: std::collections::BTreeMap<Option<(usize, usize)>, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for y in 0..self.n() {
+            by_range.entry(self.right_range[y]).or_default().push(y);
+        }
+        by_range
+            .into_iter()
+            .map(|(range, members)| BeliefGroup { range, members })
+            .collect()
+    }
+
+    /// Maximum consistent matching via the deadline greedy: original
+    /// items are processed by increasing range upper end and matched
+    /// to the lowest-frequency anonymized item still available in
+    /// their range. For interval bigraphs this yields a maximum
+    /// matching; if it is perfect, every anonymized item is assigned.
+    ///
+    /// Returns `partner[left] = Some(right)` for matched left items.
+    pub fn greedy_matching(&self) -> Matching {
+        let n = self.n();
+        // Order right items by (hi, lo).
+        let mut order: Vec<usize> = (0..n).filter(|&y| self.right_range[y].is_some()).collect();
+        order.sort_unstable_by_key(|&y| {
+            let (lo, hi) = self.right_range[y].expect("filtered to Some");
+            (hi, lo)
+        });
+
+        // Per-group stack of still-unassigned left items; a BTreeSet
+        // of groups with remaining capacity supports "smallest group
+        // >= lo" queries.
+        let mut remaining: Vec<Vec<usize>> = self.group_members.clone();
+        let mut nonempty: std::collections::BTreeSet<usize> = (0..self.n_groups())
+            .filter(|&g| !remaining[g].is_empty())
+            .collect();
+
+        let mut left_partner: Vec<Option<usize>> = vec![None; n];
+        let mut right_partner: Vec<Option<usize>> = vec![None; n];
+        for y in order {
+            let (lo, hi) = self.right_range[y].expect("filtered to Some");
+            if let Some(&g) = nonempty.range(lo..=hi).next() {
+                let i = remaining[g].pop().expect("group in nonempty set");
+                if remaining[g].is_empty() {
+                    nonempty.remove(&g);
+                }
+                left_partner[i] = Some(y);
+                right_partner[y] = Some(i);
+            }
+        }
+        Matching {
+            left_partner,
+            right_partner,
+        }
+    }
+}
+
+/// A belief group (Figure 3(b)): original items sharing a candidate
+/// set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BeliefGroup {
+    /// Inclusive frequency-group range the members can map from
+    /// (`None` when no observed frequency fits their interval).
+    pub range: Option<(usize, usize)>,
+    /// Member original items, increasing.
+    pub members: Vec<usize>,
+}
+
+impl BeliefGroup {
+    /// Whether the group maps to exactly one frequency group
+    /// (*exclusive* in the chain terminology of Section 4.2).
+    pub fn is_exclusive(&self) -> bool {
+        matches!(self.range, Some((lo, hi)) if lo == hi)
+    }
+
+    /// Whether the group maps to exactly two successive frequency
+    /// groups (*shared*).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.range, Some((lo, hi)) if hi == lo + 1)
+    }
+}
+
+/// A (partial) matching between the two sides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// `left_partner[i]` = right item matched to left `i`.
+    pub left_partner: Vec<Option<usize>>,
+    /// `right_partner[y]` = left item matched to right `y`.
+    pub right_partner: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// The identity matching on `n` items (every item cracked).
+    pub fn identity(n: usize) -> Self {
+        Matching {
+            left_partner: (0..n).map(Some).collect(),
+            right_partner: (0..n).map(Some).collect(),
+        }
+    }
+
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.left_partner.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether every node is matched.
+    pub fn is_perfect(&self) -> bool {
+        self.left_partner.iter().all(|p| p.is_some())
+    }
+
+    /// Number of cracks: matched pairs `(i, i)`.
+    pub fn n_cracks(&self) -> usize {
+        self.left_partner
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| *p == Some(i))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The BigMart supports: 5,4,5,5,3,5 over 10 transactions.
+    fn bigmart_supports() -> Vec<u64> {
+        vec![5, 4, 5, 5, 3, 5]
+    }
+
+    /// The belief function `h` of Figure 2 (0-based items).
+    fn belief_h() -> Vec<(f64, f64)> {
+        vec![
+            (0.0, 1.0),
+            (0.4, 0.5),
+            (0.5, 0.5),
+            (0.4, 0.6),
+            (0.1, 0.4),
+            (0.5, 0.5),
+        ]
+    }
+
+    #[test]
+    fn groups_match_figure_3b() {
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        assert_eq!(g.n_groups(), 3);
+        assert_eq!(g.group_sizes(), &[1, 1, 4]);
+        assert_eq!(g.group_supports(), &[3, 4, 5]);
+        assert_eq!(g.left_group_of(4), 0); // item 5 (0-based 4), freq .3
+        assert_eq!(g.left_group_of(1), 1); // freq .4
+        assert_eq!(g.left_group_of(0), 2); // freq .5
+    }
+
+    #[test]
+    fn outdegrees_match_paper_discussion() {
+        // For h: 1' can map to items 1,2,3,4,6 (0-based 0,1,2,3,5);
+        // dually O_x counts anonymized candidates per original item.
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        // Item 0 (paper 1) has interval [0,1] -> all 6 anonymized.
+        assert_eq!(g.outdegree(0), 6);
+        // Item 1 (paper 2) has [0.4, 0.5]: groups .4 (1) + .5 (4) = 5.
+        assert_eq!(g.outdegree(1), 5);
+        // Item 2 (paper 3) point 0.5 -> 4.
+        assert_eq!(g.outdegree(2), 4);
+        // Item 3 (paper 4) [0.4,0.6] -> 5.
+        assert_eq!(g.outdegree(3), 5);
+        // Item 4 (paper 5) [0.1,0.4]: groups .3 and .4 -> 2.
+        assert_eq!(g.outdegree(4), 2);
+        // Item 5 (paper 6) point 0.5 -> 4.
+        assert_eq!(g.outdegree(5), 4);
+    }
+
+    #[test]
+    fn edges_match_consistency_rule() {
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        // 1' (freq .5) maps to 1,2,3,4,6 but not 5 (0-based: not 4).
+        for y in [0usize, 1, 2, 3, 5] {
+            assert!(g.has_edge(0, y), "edge (1', {})", y + 1);
+        }
+        assert!(!g.has_edge(0, 4));
+        // 2' (freq .4) maps to 1,2,4,5 (0-based 0,1,3,4).
+        for y in [0usize, 1, 3, 4] {
+            assert!(g.has_edge(1, y));
+        }
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 5));
+    }
+
+    #[test]
+    fn compliant_beliefs_have_crack_edges() {
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        for x in 0..6 {
+            assert!(g.crack_edge_exists(x), "h is compliant on item {x}");
+        }
+    }
+
+    #[test]
+    fn empty_interval_yields_no_candidates() {
+        let supports = vec![5, 4];
+        let intervals = vec![(0.0, 0.1), (0.0, 1.0)];
+        let g = GroupedBigraph::new(&supports, 10, &intervals);
+        assert_eq!(g.outdegree(0), 0);
+        assert_eq!(g.right_range_of(0), None);
+        assert!(!g.crack_edge_exists(0));
+        assert_eq!(g.outdegree(1), 2);
+    }
+
+    #[test]
+    fn to_dense_agrees_on_edges_and_degrees() {
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        let d = g.to_dense();
+        for i in 0..6 {
+            for y in 0..6 {
+                assert_eq!(g.has_edge(i, y), d.has_edge(i, y), "edge ({i},{y})");
+            }
+        }
+        let od = d.right_degrees();
+        assert_eq!(od, g.outdegrees());
+        assert_eq!(d.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn greedy_matching_is_perfect_under_compliance() {
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        let m = g.greedy_matching();
+        assert!(m.is_perfect());
+        // Verify consistency of every matched edge.
+        for (i, p) in m.left_partner.iter().enumerate() {
+            assert!(g.has_edge(i, p.expect("perfect")));
+        }
+    }
+
+    #[test]
+    fn greedy_matching_handles_infeasible_items() {
+        // Item 0's interval misses every observed frequency.
+        let supports = vec![5, 4, 3];
+        let intervals = vec![(0.9, 1.0), (0.0, 1.0), (0.0, 1.0)];
+        let g = GroupedBigraph::new(&supports, 10, &intervals);
+        let m = g.greedy_matching();
+        assert_eq!(m.size(), 2);
+        assert!(m.right_partner[0].is_none());
+    }
+
+    #[test]
+    fn matching_crack_count() {
+        let m = Matching::identity(4);
+        assert_eq!(m.n_cracks(), 4);
+        assert!(m.is_perfect());
+        let m2 = Matching {
+            left_partner: vec![Some(1), Some(0), Some(2), None],
+            right_partner: vec![Some(1), Some(0), Some(2), None],
+        };
+        assert_eq!(m2.n_cracks(), 1);
+        assert_eq!(m2.size(), 3);
+        assert!(!m2.is_perfect());
+    }
+
+    #[test]
+    fn belief_groups_match_figure_3b() {
+        // Under h, items 2 and 4 (0-based 1 and 3) share the range
+        // {.4, .5} even though their intervals differ — the paper's
+        // point about the group view.
+        let g = GroupedBigraph::new(&bigmart_supports(), 10, &belief_h());
+        let groups = g.belief_groups();
+        let find = |y: usize| {
+            groups
+                .iter()
+                .find(|grp| grp.members.contains(&y))
+                .expect("every item is in a group")
+        };
+        assert_eq!(find(1).members, vec![1, 3], "items 2 and 4 share a group");
+        assert!(find(1).is_shared());
+        // Point-believers 3 and 6 (0-based 2 and 5) share the .5-only
+        // group.
+        assert_eq!(find(2).members, vec![2, 5]);
+        assert!(find(2).is_exclusive());
+        // Item 1 (0-based 0) spans all three groups: neither.
+        assert!(!find(0).is_exclusive() && !find(0).is_shared());
+        // Partition check.
+        let total: usize = groups.iter().map(|grp| grp.members.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn point_valued_belief_isolates_groups() {
+        // Compliant point-valued belief f of Figure 2.
+        let supports = bigmart_supports();
+        let intervals: Vec<(f64, f64)> = supports
+            .iter()
+            .map(|&s| {
+                let f = s as f64 / 10.0;
+                (f, f)
+            })
+            .collect();
+        let g = GroupedBigraph::new(&supports, 10, &intervals);
+        // Outdegree of each item equals its group size.
+        assert_eq!(g.outdegrees(), vec![4, 1, 4, 4, 1, 4]);
+    }
+}

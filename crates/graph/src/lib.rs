@@ -1,0 +1,40 @@
+//! # andi-graph — bipartite crack-mapping machinery
+//!
+//! The paper's second analysis level (Section 8.1): given *any*
+//! bipartite graph `G = (J ∪ I, E)` of consistent crack mappings —
+//! however it was constructed — estimate how many anonymized items a
+//! hacker cracks with a uniformly random perfect matching. This crate
+//! is belief-function-agnostic; `andi-core` builds the graphs.
+//!
+//! * [`DenseBigraph`] — bitset adjacency; O(1) edge tests, popcount
+//!   degrees.
+//! * [`GroupedBigraph`] — the interval-structured form: frequency
+//!   groups plus one contiguous group range per item; outdegrees via
+//!   prefix sums (the `O(|D| + n log n)` path of Figure 5).
+//! * [`matching`] — Hopcroft–Karp maximum matching.
+//! * [`mod@permanent`] / [`exact`] — Ryser permanents and the exact
+//!   Section 4.1 expectation/distribution, for ground truth on small
+//!   domains.
+//! * [`mod@propagate`] — the Figure 7 degree-1 propagation.
+//! * [`sampler`] — the Section 7.1 swap-walk MCMC over consistent
+//!   matchings.
+
+pub mod convex;
+pub mod dense;
+pub mod dot;
+pub mod exact;
+pub mod grouped;
+pub mod matching;
+pub mod permanent;
+pub mod propagate;
+pub mod sampler;
+
+pub use convex::{expected_cracks_convex, ConvexError, ConvexExact, DEFAULT_STATE_BUDGET};
+pub use dense::DenseBigraph;
+pub use dot::{to_dot, DotOptions};
+pub use exact::{crack_distribution, crack_probabilities, expected_cracks};
+pub use grouped::{BeliefGroup, GroupedBigraph, Matching};
+pub use matching::{has_perfect_matching, hopcroft_karp};
+pub use permanent::{permanent, MAX_PERMANENT_N};
+pub use propagate::{propagate, Propagation};
+pub use sampler::{sample_cracks, CrackSamples, EdgeOracle, SamplerConfig, SamplerError};

@@ -1,0 +1,225 @@
+//! Permanent of the bipartite adjacency matrix.
+//!
+//! The size of the mapping space is the number of perfect matchings,
+//! i.e. the permanent of the adjacency matrix (Section 4.1). The
+//! permanent is #P-complete [Valiant 1979]; the paper dismisses even
+//! the Jerrum–Sinclair–Vigoda approximation as impractical (O(n^22)).
+//! For *small* domains, however, Ryser's inclusion–exclusion formula
+//! with Gray-code subset enumeration computes it exactly in
+//! `O(2^n · n)` — that is what our tests use as ground truth for the
+//! O-estimate and the matching sampler.
+
+use crate::dense::DenseBigraph;
+
+/// Hard cap on the domain size for exact permanents. `2^30` subset
+/// iterations is the practical ceiling; beyond it the u128
+/// accumulator could also overflow for dense graphs.
+pub const MAX_PERMANENT_N: usize = 30;
+
+/// Computes the permanent of the 0/1 adjacency matrix of `g` with
+/// Ryser's formula.
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_PERMANENT_N`.
+/// # Examples
+///
+/// ```
+/// use andi_graph::{permanent, DenseBigraph};
+///
+/// // perm(J_4) = 4! — the mapping space of an ignorant hacker.
+/// assert_eq!(permanent(&DenseBigraph::complete(4)), 24);
+/// ```
+pub fn permanent(g: &DenseBigraph) -> u128 {
+    let n = g.n();
+    assert!(
+        n <= MAX_PERMANENT_N,
+        "permanent limited to n <= {MAX_PERMANENT_N}, got {n}"
+    );
+    if n == 0 {
+        return 1;
+    }
+    // Rows as plain u64 masks (n <= 30 fits one word).
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    permanent_of_rows(&rows, n)
+}
+
+/// Ryser's formula over explicit row bitmasks. `rows[i]` has bit `j`
+/// set iff matrix entry `(i, j)` is 1. Only the low `n` bits are
+/// used.
+///
+/// Row sums over the current column subset are maintained
+/// incrementally along a Gray-code walk of the subsets.
+pub fn permanent_of_rows(rows: &[u64], n: usize) -> u128 {
+    assert!(n <= MAX_PERMANENT_N);
+    assert_eq!(rows.len(), n);
+    if n == 0 {
+        return 1;
+    }
+    // Quick zero: a row with no candidates kills every matching.
+    if rows.iter().any(|&r| r & mask(n) == 0) {
+        return 0;
+    }
+
+    // Signed accumulation: sum over non-empty subsets S of columns of
+    // (-1)^(n - |S|) * prod_i |row_i ∩ S|.
+    let mut row_sums = vec![0i64; n];
+    let mut total: i128 = 0;
+    let mut prev_gray: u64 = 0;
+    for s in 1u64..(1u64 << n) {
+        let gray = s ^ (s >> 1);
+        let changed = gray ^ prev_gray;
+        let col = changed.trailing_zeros() as usize;
+        let added = gray & changed != 0;
+        for (i, row) in rows.iter().enumerate() {
+            if row & (1u64 << col) != 0 {
+                row_sums[i] += if added { 1 } else { -1 };
+            }
+        }
+        prev_gray = gray;
+
+        let mut prod: i128 = 1;
+        for &rs in &row_sums {
+            if rs == 0 {
+                prod = 0;
+                break;
+            }
+            prod *= rs as i128;
+        }
+        if prod != 0 {
+            let popcnt = gray.count_ones() as usize;
+            if (n - popcnt).is_multiple_of(2) {
+                total += prod;
+            } else {
+                total -= prod;
+            }
+        }
+    }
+    debug_assert!(total >= 0, "permanent of a 0/1 matrix is non-negative");
+    total as u128
+}
+
+#[inline]
+fn mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Brute-force permanent by recursive expansion; exponential and only
+/// for cross-checking Ryser in tests.
+pub fn permanent_naive(g: &DenseBigraph) -> u128 {
+    let n = g.n();
+    assert!(n <= 12, "naive permanent only for tiny graphs");
+    let rows: Vec<u64> = (0..n)
+        .map(|i| g.row_words(i).first().copied().unwrap_or(0))
+        .collect();
+    fn rec(rows: &[u64], i: usize, used: u64) -> u128 {
+        if i == rows.len() {
+            return 1;
+        }
+        let mut total = 0;
+        let mut avail = rows[i] & !used;
+        while avail != 0 {
+            let j = avail.trailing_zeros() as u64;
+            avail &= avail - 1;
+            total += rec(rows, i + 1, used | (1 << j));
+        }
+        total
+    }
+    rec(&rows, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_permanent_is_factorial() {
+        for n in 1..=8usize {
+            let g = DenseBigraph::complete(n);
+            let fact: u128 = (1..=n as u128).product();
+            assert_eq!(permanent(&g), fact, "perm(J_{n}) = {n}!");
+        }
+    }
+
+    #[test]
+    fn empty_and_identity() {
+        assert_eq!(permanent(&DenseBigraph::new(0)), 1);
+        let g = DenseBigraph::new(3);
+        assert_eq!(permanent(&g), 0, "no edges, no matchings");
+        let mut id = DenseBigraph::new(3);
+        for i in 0..3 {
+            id.add_edge(i, i);
+        }
+        assert_eq!(permanent(&id), 1);
+    }
+
+    #[test]
+    fn staircase_has_unique_matching() {
+        // Figure 6(a): right j reachable from lefts 0..=j.
+        let mut g = DenseBigraph::new(4);
+        for j in 0..4 {
+            for i in 0..=j {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(permanent(&g), 1);
+    }
+
+    #[test]
+    fn block_diagonal_multiplies() {
+        // Two disjoint complete blocks of sizes 2 and 3: 2! * 3! = 12.
+        let mut g = DenseBigraph::new(5);
+        for i in 0..2 {
+            for j in 0..2 {
+                g.add_edge(i, j);
+            }
+        }
+        for i in 2..5 {
+            for j in 2..5 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(permanent(&g), 12);
+    }
+
+    #[test]
+    fn ryser_matches_naive_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=7);
+            let mut g = DenseBigraph::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if rng.gen_bool(0.55) {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+            assert_eq!(
+                permanent(&g),
+                permanent_naive(&g),
+                "trial {trial}, n={n}, graph={g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_row_gives_zero_fast() {
+        let mut g = DenseBigraph::complete(6);
+        g.clear_left(3);
+        assert_eq!(permanent(&g), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permanent limited")]
+    fn oversize_is_rejected() {
+        let g = DenseBigraph::new(31);
+        let _ = permanent(&g);
+    }
+}

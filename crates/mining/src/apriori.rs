@@ -1,0 +1,181 @@
+//! Level-wise Apriori frequent-set mining (Agrawal et al. \[6\], the
+//! paper's reference model for frequency).
+//!
+//! Classic candidate-generation-and-test: level `k+1` candidates are
+//! joins of level-`k` frequent sets sharing a `(k-1)`-prefix, pruned
+//! by the downward-closure property, then counted in one database
+//! pass per level.
+
+use std::collections::{BTreeMap, HashSet};
+
+use andi_data::{Database, ItemId};
+
+use crate::itemset::{Itemset, MiningResult};
+
+/// Mines all itemsets with support count `>= min_support`.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero (every subset of the domain would
+/// qualify vacuously).
+pub fn apriori(db: &Database, min_support: u64) -> MiningResult {
+    assert!(min_support >= 1, "min_support must be at least 1");
+    let mut all: BTreeMap<Itemset, u64> = BTreeMap::new();
+
+    // Level 1 from the support profile.
+    let supports = db.supports();
+    let mut current: Vec<Itemset> = Vec::new();
+    for (x, &c) in supports.iter().enumerate() {
+        if c >= min_support {
+            let s = Itemset::singleton(ItemId(x as u32));
+            all.insert(s.clone(), c);
+            current.push(s);
+        }
+    }
+
+    while current.len() > 1 {
+        let candidates = generate_candidates(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        // One pass: count each candidate.
+        let mut counts: Vec<u64> = vec![0; candidates.len()];
+        for t in db.transactions() {
+            for (ci, c) in candidates.iter().enumerate() {
+                if t.contains_all(c.items()) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+        current = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= min_support)
+            .map(|(s, c)| {
+                all.insert(s.clone(), c);
+                s
+            })
+            .collect();
+    }
+
+    MiningResult::new(all, min_support)
+}
+
+/// Joins frequent `k`-sets sharing a `(k-1)`-prefix and prunes
+/// candidates with an infrequent `k`-subset.
+fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
+    let freq_index: HashSet<&Itemset> = frequent.iter().collect();
+    let mut out = Vec::new();
+    for (a_idx, a) in frequent.iter().enumerate() {
+        for b in &frequent[a_idx + 1..] {
+            let k = a.len();
+            // frequent is sorted lexicographically (BTreeMap order
+            // upstream is not guaranteed here, so compare prefixes
+            // explicitly).
+            if a.items()[..k - 1] != b.items()[..k - 1] {
+                continue;
+            }
+            let (lo, hi) = if a.items()[k - 1] < b.items()[k - 1] {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let candidate = lo
+                .extend_with(hi.items()[k - 1])
+                .expect("hi's last item exceeds lo's");
+            if all_subsets_frequent(&candidate, &freq_index) {
+                out.push(candidate);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Downward-closure prune: every `(k-1)`-subset of `candidate` must
+/// be frequent.
+fn all_subsets_frequent(candidate: &Itemset, frequent: &HashSet<&Itemset>) -> bool {
+    let items = candidate.items();
+    (0..items.len()).all(|skip| {
+        let sub = Itemset::from_sorted_unique(
+            items
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != skip)
+                .map(|(_, &x)| x)
+                .collect(),
+        );
+        frequent.contains(&sub)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andi_data::bigmart;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().map(|&i| ItemId(i)))
+    }
+
+    #[test]
+    fn mines_bigmart_singletons() {
+        let r = apriori(&bigmart(), 4);
+        // Supports: 5,4,5,5,3,5 -> five singletons at min_support 4.
+        assert_eq!(r.of_len(1).len(), 5);
+        assert_eq!(r.support(&set(&[0])), Some(5));
+        assert_eq!(r.support(&set(&[4])), None);
+    }
+
+    #[test]
+    fn mines_bigmart_pairs() {
+        let r = apriori(&bigmart(), 4);
+        // {3,5} co-occur in t5..t8 -> support 4.
+        assert_eq!(r.support(&set(&[3, 5])), Some(4));
+        // {0,1} co-occur in t0..t3 -> support 4.
+        assert_eq!(r.support(&set(&[0, 1])), Some(4));
+    }
+
+    #[test]
+    fn support_threshold_one_is_everything_cooccurring() {
+        let db = Database::from_raw(3, &[&[0, 1, 2], &[0, 1]]).unwrap();
+        let r = apriori(&db, 1);
+        // All subsets of {0,1,2} except {} plus nothing else: 7.
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.support(&set(&[0, 1, 2])), Some(1));
+        assert_eq!(r.support(&set(&[0, 1])), Some(2));
+    }
+
+    #[test]
+    fn high_threshold_yields_empty() {
+        let r = apriori(&bigmart(), 100);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn supports_are_downward_monotone() {
+        let r = apriori(&bigmart(), 2);
+        for (s, c) in r.iter() {
+            if s.len() >= 2 {
+                for skip in 0..s.len() {
+                    let sub = Itemset::new(
+                        s.items()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != skip)
+                            .map(|(_, &x)| x),
+                    );
+                    let sub_c = r.support(&sub).expect("subset must be frequent");
+                    assert!(sub_c >= c, "{sub} support {sub_c} < {s} support {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn rejects_zero_threshold() {
+        let _ = apriori(&bigmart(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Eclat frequent-set mining (vertical tid-list intersection).
+//!
+//! Each item carries the sorted list of transaction ids containing
+//! it; supports of unions come from list intersections, explored
+//! depth-first in prefix order. A third independent implementation
+//! used to cross-validate Apriori and FP-Growth.
+
+use andi_data::{Database, ItemId};
+
+use crate::itemset::{Itemset, MiningResult};
+
+/// Mines all itemsets with support count `>= min_support` using
+/// Eclat.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+pub fn eclat(db: &Database, min_support: u64) -> MiningResult {
+    assert!(min_support >= 1, "min_support must be at least 1");
+
+    // Vertical representation (sorted tid-lists per item).
+    let mut frequent_items: Vec<(ItemId, Vec<u32>)> = db
+        .tidlists()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, l)| l.len() as u64 >= min_support)
+        .map(|(x, l)| (ItemId(x as u32), l))
+        .collect();
+    frequent_items.sort_unstable_by_key(|(x, _)| *x);
+
+    let mut out: Vec<(Itemset, u64)> = Vec::new();
+    // DFS over prefix extensions.
+    let mut prefix: Vec<ItemId> = Vec::new();
+    dfs(&frequent_items, &mut prefix, min_support, &mut out);
+    MiningResult::new(out, min_support)
+}
+
+/// Explores all extensions of `prefix` by the candidate items (each
+/// paired with the tid-list of `prefix ∪ {item}`).
+fn dfs(
+    candidates: &[(ItemId, Vec<u32>)],
+    prefix: &mut Vec<ItemId>,
+    min_support: u64,
+    out: &mut Vec<(Itemset, u64)>,
+) {
+    for (k, (x, list)) in candidates.iter().enumerate() {
+        prefix.push(*x);
+        out.push((
+            Itemset::from_sorted_unique(prefix.clone()),
+            list.len() as u64,
+        ));
+
+        // Conditional candidates: items after x intersected with x's
+        // tid-list.
+        let next: Vec<(ItemId, Vec<u32>)> = candidates[k + 1..]
+            .iter()
+            .filter_map(|(y, ylist)| {
+                let joint = intersect(list, ylist);
+                if joint.len() as u64 >= min_support {
+                    Some((*y, joint))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if !next.is_empty() {
+            dfs(&next, prefix, min_support, out);
+        }
+        prefix.pop();
+    }
+}
+
+/// Intersection of two sorted tid-lists (linear merge).
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::fpgrowth::fpgrowth;
+    use andi_data::bigmart;
+
+    #[test]
+    fn intersect_merges() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[2, 4], &[1, 3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_three_miners_agree_on_bigmart() {
+        for min_support in [1u64, 2, 3, 4, 5, 6, 10] {
+            let a = apriori(&bigmart(), min_support);
+            let f = fpgrowth(&bigmart(), min_support);
+            let e = eclat(&bigmart(), min_support);
+            assert_eq!(a, e, "apriori vs eclat at {min_support}");
+            assert_eq!(f, e, "fpgrowth vs eclat at {min_support}");
+        }
+    }
+
+    #[test]
+    fn deep_itemsets() {
+        let db =
+            Database::from_raw(5, &[&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4], &[0, 1, 2, 3]]).unwrap();
+        let r = eclat(&db, 2);
+        // All non-empty subsets of {0..4} have support >= 2: 31.
+        assert_eq!(r.len(), 31);
+        let full = Itemset::new((0..5u32).map(ItemId));
+        assert_eq!(r.support(&full), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn rejects_zero_threshold() {
+        let _ = eclat(&bigmart(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! FP-Growth frequent-set mining.
+//!
+//! Pattern-growth miner: transactions are compressed into a prefix
+//! tree (the FP-tree) with items ordered by descending support, then
+//! patterns grow recursively from per-item conditional trees. No
+//! candidate generation, two passes over the data per (sub)tree.
+
+use std::collections::BTreeMap;
+
+use andi_data::{Database, ItemId};
+
+use crate::itemset::{Itemset, MiningResult};
+
+/// Mines all itemsets with support count `>= min_support` using
+/// FP-Growth. Produces exactly the same result as
+/// [`crate::apriori::apriori`].
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+pub fn fpgrowth(db: &Database, min_support: u64) -> MiningResult {
+    assert!(min_support >= 1, "min_support must be at least 1");
+    let supports = db.supports();
+
+    // Global item order: descending support, ties by id, restricted
+    // to frequent items.
+    let mut frequent: Vec<ItemId> = (0..db.n_items() as u32)
+        .map(ItemId)
+        .filter(|x| supports[x.index()] >= min_support)
+        .collect();
+    frequent.sort_unstable_by_key(|x| (std::cmp::Reverse(supports[x.index()]), *x));
+    let rank: BTreeMap<ItemId, usize> = frequent.iter().enumerate().map(|(r, &x)| (x, r)).collect();
+
+    // Build the initial tree from rank-sorted frequent projections.
+    let mut tree = FpTree::new(frequent.len());
+    for t in db.transactions() {
+        let mut path: Vec<usize> = t.iter().filter_map(|x| rank.get(&x).copied()).collect();
+        path.sort_unstable();
+        tree.insert(&path, 1);
+    }
+
+    let mut out: Vec<(Itemset, u64)> = Vec::new();
+    mine_tree(&tree, &[], min_support, &mut out);
+
+    // Translate ranks back to item ids.
+    let result = out.into_iter().map(|(ranks_set, c)| {
+        let items = ranks_set
+            .items()
+            .iter()
+            .map(|r| frequent[r.index()])
+            .collect::<Vec<_>>();
+        (Itemset::new(items), c)
+    });
+    MiningResult::new(result, min_support)
+}
+
+/// An FP-tree over rank-encoded items (rank 0 = most frequent).
+struct FpTree {
+    /// Arena: node 0 is the root.
+    nodes: Vec<Node>,
+    /// Per-rank chain of node indices holding that rank.
+    header: Vec<Vec<usize>>,
+    /// Per-rank total count.
+    rank_count: Vec<u64>,
+}
+
+struct Node {
+    rank: usize,
+    count: u64,
+    parent: usize,
+    children: BTreeMap<usize, usize>,
+}
+
+impl FpTree {
+    fn new(n_ranks: usize) -> Self {
+        FpTree {
+            nodes: vec![Node {
+                rank: usize::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: BTreeMap::new(),
+            }],
+            header: vec![Vec::new(); n_ranks],
+            rank_count: vec![0; n_ranks],
+        }
+    }
+
+    /// Inserts a rank-sorted path with multiplicity `count`.
+    fn insert(&mut self, path: &[usize], count: u64) {
+        let mut cur = 0usize;
+        for &r in path {
+            self.rank_count[r] += count;
+            cur = match self.nodes[cur].children.get(&r) {
+                Some(&child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        rank: r,
+                        count,
+                        parent: cur,
+                        children: BTreeMap::new(),
+                    });
+                    self.nodes[cur].children.insert(r, idx);
+                    self.header[r].push(idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// The prefix path of a node (ranks above it), root exclusive.
+    fn prefix_of(&self, mut idx: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        idx = self.nodes[idx].parent;
+        while idx != 0 && idx != usize::MAX {
+            path.push(self.nodes[idx].rank);
+            idx = self.nodes[idx].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Recursively mines `tree`, extending `suffix` (rank-encoded,
+/// descending order semantics handled by construction).
+fn mine_tree(tree: &FpTree, suffix: &[usize], min_support: u64, out: &mut Vec<(Itemset, u64)>) {
+    // Iterate ranks bottom-up (least frequent first) as usual.
+    for r in (0..tree.header.len()).rev() {
+        let count = tree.rank_count[r];
+        if count < min_support || tree.header[r].is_empty() {
+            continue;
+        }
+        let mut pattern: Vec<usize> = suffix.to_vec();
+        pattern.push(r);
+        out.push((
+            Itemset::new(pattern.iter().map(|&x| ItemId(x as u32))),
+            count,
+        ));
+
+        // Conditional tree on r's prefix paths.
+        let mut cond = FpTree::new(tree.header.len());
+        for &node in &tree.header[r] {
+            let path = tree.prefix_of(node);
+            if !path.is_empty() {
+                cond.insert(&path, tree.nodes[node].count);
+            }
+        }
+        // Prune infrequent ranks inside the conditional tree by
+        // rebuilding with only frequent ranks (simple and correct).
+        let keep: Vec<bool> = cond.rank_count.iter().map(|&c| c >= min_support).collect();
+        if keep.iter().any(|&k| k) {
+            let mut pruned = FpTree::new(tree.header.len());
+            for &node in &tree.header[r] {
+                let path: Vec<usize> = tree
+                    .prefix_of(node)
+                    .into_iter()
+                    .filter(|&pr| keep[pr])
+                    .collect();
+                if !path.is_empty() {
+                    pruned.insert(&path, tree.nodes[node].count);
+                }
+            }
+            mine_tree(&pruned, &pattern, min_support, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use andi_data::bigmart;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().map(|&i| ItemId(i)))
+    }
+
+    #[test]
+    fn matches_apriori_on_bigmart() {
+        for min_support in [1u64, 2, 3, 4, 5, 6] {
+            let a = apriori(&bigmart(), min_support);
+            let f = fpgrowth(&bigmart(), min_support);
+            assert_eq!(a, f, "divergence at min_support {min_support}");
+        }
+    }
+
+    #[test]
+    fn finds_known_pairs() {
+        let r = fpgrowth(&bigmart(), 4);
+        assert_eq!(r.support(&set(&[3, 5])), Some(4));
+        assert_eq!(r.support(&set(&[0, 1])), Some(4));
+        assert_eq!(r.support(&set(&[4])), None);
+    }
+
+    #[test]
+    fn single_transaction_database() {
+        let db = Database::from_raw(4, &[&[0, 2, 3]]).unwrap();
+        let r = fpgrowth(&db, 1);
+        assert_eq!(r.len(), 7, "all non-empty subsets of a 3-set");
+        assert_eq!(r.support(&set(&[0, 2, 3])), Some(1));
+    }
+
+    #[test]
+    fn empty_result_above_max_support() {
+        let r = fpgrowth(&bigmart(), 11);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn rejects_zero_threshold() {
+        let _ = fpgrowth(&bigmart(), 0);
+    }
+}

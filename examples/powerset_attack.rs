@@ -1,0 +1,85 @@
+//! Powerset belief functions: itemset knowledge breaks item-level
+//! camouflage (the Section 8.2 research direction, realized).
+//!
+//! Items sharing a frequency are indistinguishable to any item-level
+//! hacker — the paper's camouflage effect. But a hacker who also
+//! knows how often two products sell *together* can tell them apart:
+//! co-occurrence is not shared group-wide. This example walks BigMart
+//! from "protected by the group" to "fully cracked" as pair knowledge
+//! accumulates.
+//!
+//! ```text
+//! cargo run --example powerset_attack
+//! ```
+
+use andi::core::powerset::{assess_powerset_risk, ItemsetBelief, PowersetBelief};
+use andi::core::report::TextTable;
+use andi::{bigmart, BeliefFunction, ItemId};
+
+fn main() {
+    let db = bigmart();
+    let freqs = db.frequencies();
+    println!(
+        "BigMart: items 1, 3, 4, 6 share frequency 0.5 — a 4-item\n\
+         camouflage group. Point-valued item knowledge alone expects\n\
+         g = 3 cracks (Lemma 3).\n"
+    );
+
+    // The hacker's item-level knowledge: exact frequencies.
+    let item_belief = BeliefFunction::point_valued(&freqs).expect("valid frequencies");
+
+    // Pair supports the hacker might learn (e.g. from similar data):
+    // how often product 1 sells with product 2 (0-based 0 with 1).
+    let pairs: [(usize, usize); 3] = [(0, 1), (2, 1), (3, 1)];
+    for &(a, b) in &pairs {
+        let sup = db.itemset_support(&[ItemId(a as u32), ItemId(b as u32)]);
+        println!(
+            "true co-occurrence of items {} and {}: {sup}/10 baskets",
+            a + 1,
+            b + 1
+        );
+    }
+    println!();
+
+    let mut table = TextTable::new([
+        "pair beliefs known",
+        "edges pruned",
+        "certain cracks",
+        "expected cracks",
+    ]);
+    let mut belief = PowersetBelief::item_only(item_belief);
+    // Baseline: no set knowledge.
+    let base = assess_powerset_risk(&db, &belief).expect("space is non-empty");
+    table.add_row([
+        "none".to_string(),
+        base.pruned_edges.to_string(),
+        base.certain_cracks().to_string(),
+        format!("{:.3}", base.oestimate()),
+    ]);
+
+    for (k, &(a, b)) in pairs.iter().enumerate() {
+        let sup = db.itemset_support(&[ItemId(a as u32), ItemId(b as u32)]);
+        let f = sup as f64 / db.n_transactions() as f64;
+        belief = belief
+            .with_set(ItemsetBelief::new(vec![a, b], (f, f)).expect("valid interval"))
+            .expect("items in domain");
+        let risk = assess_powerset_risk(&db, &belief).expect("space is non-empty");
+        table.add_row([
+            format!("{} pair(s)", k + 1),
+            risk.pruned_edges.to_string(),
+            risk.certain_cracks().to_string(),
+            format!("{:.3}", risk.oestimate()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reading: pair frequencies prune the camouflage group — the\n\
+         expected cracks rise above the Lemma 3 baseline of 3, and items\n\
+         with distinctive co-occurrence are pinned outright. (Items 4 and\n\
+         6 both never co-sell with item 2, so that pair leaves them\n\
+         mutually ambiguous — knowledge only distinguishes what it\n\
+         actually distinguishes.) Item-level camouflage is NOT safe\n\
+         against set-level knowledge, as the paper's closing section\n\
+         anticipates."
+    );
+}

@@ -1,0 +1,123 @@
+//! Beyond frequent sets: attribute knowledge on a relation
+//! (Section 8.1).
+//!
+//! The owner wants to release an anonymized relation
+//! (age, ethnicity, car-model) for classification. The hacker knows
+//! John is Chinese and drives a Toyota, knows Mary's age bracket, and
+//! knows nothing about Bob. The bipartite-graph machinery applies
+//! unchanged once the graph is built from those constraints.
+//!
+//! ```text
+//! cargo run --example relational_attack
+//! ```
+
+use andi::core::relational::{
+    assess_relational_risk, build_graph, AnonymizedRelation, AttrValue, Constraint, Knowledge,
+};
+use andi::core::ItemStatus;
+
+const AGE: usize = 0;
+const ETHNICITY: usize = 1;
+const CAR: usize = 2;
+
+// Categorical encodings.
+const CHINESE: u32 = 0;
+const DUTCH: u32 = 1;
+const INDIAN: u32 = 2;
+const TOYOTA: u32 = 10;
+const VOLVO: u32 = 11;
+const TESLA: u32 = 12;
+
+fn main() {
+    let names = ["John", "Mary", "Bob", "Ada", "Wei", "Noor"];
+    // Aligned indexing: anonymized record i truly is individual i.
+    let relation = AnonymizedRelation::new(vec![
+        vec![
+            AttrValue::Num(41.0),
+            AttrValue::Cat(CHINESE),
+            AttrValue::Cat(TOYOTA),
+        ], // John
+        vec![
+            AttrValue::Num(32.0),
+            AttrValue::Cat(DUTCH),
+            AttrValue::Cat(VOLVO),
+        ], // Mary
+        vec![
+            AttrValue::Num(58.0),
+            AttrValue::Cat(DUTCH),
+            AttrValue::Cat(TOYOTA),
+        ], // Bob
+        vec![
+            AttrValue::Num(29.0),
+            AttrValue::Cat(INDIAN),
+            AttrValue::Cat(TESLA),
+        ], // Ada
+        vec![
+            AttrValue::Num(36.0),
+            AttrValue::Cat(CHINESE),
+            AttrValue::Cat(TOYOTA),
+        ], // Wei
+        vec![
+            AttrValue::Num(33.0),
+            AttrValue::Cat(INDIAN),
+            AttrValue::Cat(VOLVO),
+        ], // Noor
+    ])
+    .expect("records are rectangular");
+
+    // The hacker's partial information, as in the paper's narrative.
+    let mut knowledge = Knowledge::ignorant(relation.n_individuals());
+    knowledge
+        .add(
+            0,
+            Constraint::Equals {
+                attr: ETHNICITY,
+                value: CHINESE,
+            },
+        )
+        .add(
+            0,
+            Constraint::Equals {
+                attr: CAR,
+                value: TOYOTA,
+            },
+        )
+        .add(
+            1,
+            Constraint::InRange {
+                attr: AGE,
+                low: 30.0,
+                high: 35.0,
+            },
+        );
+    // Bob (2) gets no constraints: connected to everyone.
+
+    let graph = build_graph(&relation, &knowledge).expect("knowledge covers the domain");
+    println!("candidate sets per individual:");
+    for (y, name) in names.iter().enumerate() {
+        let candidates: Vec<usize> = (0..relation.n_individuals())
+            .filter(|&i| graph.has_edge(i, y))
+            .collect();
+        println!("  {name:<5} <- anonymized records {candidates:?}");
+    }
+
+    let risk = assess_relational_risk(&relation, &knowledge)
+        .expect("knowledge admits a consistent assignment");
+    println!(
+        "\nexpected re-identifications (O-estimate): {:.3}",
+        risk.oestimate
+    );
+    println!("identified with certainty: {}", risk.certain);
+    for (y, name) in names.iter().enumerate() {
+        let p = risk.profile.crack_probability(y);
+        let tag = match risk.profile.status(y) {
+            ItemStatus::ForcedCrack => " (certain!)",
+            _ => "",
+        };
+        println!("  P(crack {name:<5}) = {p:.3}{tag}");
+    }
+
+    // Takeaway: even two modest facts (one exact pair of categorical
+    // values, one age bracket) lift the expected re-identifications
+    // well above the ignorant baseline of 1.
+}

@@ -1,0 +1,233 @@
+//! Property-based consistency tests across the estimator stack:
+//! exact permanents, closed-form lemmas, O-estimates and the MCMC
+//! sampler must agree wherever their domains overlap.
+
+use andi::graph::sampler::SamplerConfig;
+use andi::graph::{expected_cracks, sample_cracks, Matching};
+use andi::{BeliefFunction, ChainSpec, OutdegreeProfile};
+use proptest::prelude::*;
+
+/// Strategy: a small support profile over m = 100 transactions.
+fn small_profile() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..100, 2..9)
+}
+
+/// Strategy: a compliant interval belief for the given supports —
+/// each interval is the true frequency widened by random slack on
+/// both sides.
+fn compliant_belief(supports: &[u64]) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
+    prop::collection::vec((0.0f64..0.3, 0.0f64..0.3), freqs.len()).prop_map(move |slacks| {
+        freqs
+            .iter()
+            .zip(slacks.iter())
+            .map(|(&f, &(a, b))| ((f - a).max(0.0), (f + b).min(1.0)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain OE is a lower bound refined by propagation, and both
+    /// stay within [0, n]; the exact expectation also lies between
+    /// the certain-crack count and n.
+    #[test]
+    fn oe_bounds_hold(
+        (supports, intervals) in small_profile().prop_flat_map(|s| {
+            let b = compliant_belief(&s);
+            (Just(s), b)
+        })
+    ) {
+        let belief = BeliefFunction::from_intervals(intervals).unwrap();
+        let graph = belief.build_graph(&supports, 100);
+        let n = supports.len() as f64;
+
+        let plain = OutdegreeProfile::plain(&graph).oestimate();
+        let prop_profile = OutdegreeProfile::propagated(&graph).unwrap();
+        let propagated = prop_profile.oestimate();
+        prop_assert!(plain >= 0.0 && plain <= n + 1e-9);
+        prop_assert!(propagated + 1e-9 >= plain, "propagation sharpens: {propagated} < {plain}");
+
+        let exact = expected_cracks(&graph.to_dense()).expect("compliant is feasible");
+        prop_assert!(exact <= n + 1e-9);
+        prop_assert!(
+            exact + 1e-9 >= prop_profile.forced_cracks() as f64,
+            "certain cracks lower-bound the expectation"
+        );
+    }
+
+    /// Lemma 8 (monotonicity): widening every interval cannot raise
+    /// the O-estimate.
+    #[test]
+    fn lemma_8_monotonicity(supports in small_profile(), extra in 0.0f64..0.4) {
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
+        let narrow = BeliefFunction::widened(&freqs, 0.02).unwrap();
+        let wide = BeliefFunction::widened(&freqs, 0.02 + extra).unwrap();
+        prop_assert!(narrow.refines(&wide));
+        let oe_n = andi::oestimate(&narrow, &supports, 100);
+        let oe_w = andi::oestimate(&wide, &supports, 100);
+        prop_assert!(oe_n + 1e-9 >= oe_w, "{oe_n} < {oe_w}");
+    }
+
+    /// Lemma 10 (α-monotonicity): removing items from the compliant
+    /// set cannot raise the masked O-estimate.
+    #[test]
+    fn lemma_10_monotonicity(supports in small_profile(), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
+        let belief = BeliefFunction::widened(&freqs, 0.05).unwrap();
+        let graph = belief.build_graph(&supports, 100);
+        let profile = OutdegreeProfile::plain(&graph);
+        let n = supports.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let mut mask = vec![false; n];
+        let mut prev = 0.0;
+        for &x in &order {
+            mask[x] = true;
+            let oe = profile.oestimate_masked(&mask);
+            prop_assert!(oe + 1e-12 >= prev, "masked OE must grow with the compliant set");
+            prev = oe;
+        }
+        prop_assert!((prev - profile.oestimate()).abs() < 1e-9);
+    }
+
+    /// The Lemma 6 chain closed form agrees with the exact
+    /// permanent computation on every realizable small chain.
+    #[test]
+    fn chain_formula_matches_permanent(
+        n1 in 1usize..4, n2 in 1usize..4, n3 in 1usize..4,
+        e1_frac in 0.0f64..=1.0, split in 0.0f64..=1.0,
+    ) {
+        // Construct a consistent chain: pick e1 <= n1, then u1 =
+        // n1 - e1 items of S1 are in group 1; pick v1 <= n2 items of
+        // S1 in group 2; continue for one shared link only (k = 2)
+        // and for k = 3 via the second split.
+        let e1 = (e1_frac * n1 as f64).floor() as usize;
+        let u1 = n1 - e1;
+        let v1 = (split * n2 as f64).floor() as usize;
+        let s1 = u1 + v1;
+        let rest2 = n2 - v1; // items of group 2 fed by e2 or S2
+        // Keep k = 2 by making everything else exclusive.
+        let e2 = rest2;
+        let e3 = n3;
+        // Chain of length 3 with empty second shared group.
+        let chain = ChainSpec::new(vec![n1, n2, n3], vec![e1, e2, e3], vec![s1, 0]);
+        prop_assume!(chain.is_ok());
+        let chain = chain.unwrap();
+        prop_assume!(chain.n_items() <= 10);
+
+        let (supports, belief) = chain.realize(100).unwrap();
+        let dense = belief.build_graph(&supports, 100).to_dense();
+        let exact = expected_cracks(&dense).expect("compliant chains are feasible");
+        prop_assert!(
+            (exact - chain.expected_cracks()).abs() < 1e-9,
+            "Lemma 6 gives {}, permanent gives {exact}",
+            chain.expected_cracks()
+        );
+    }
+
+    /// The grouped and dense graphs always agree on outdegrees, and
+    /// the sampler accepts any compliant instance.
+    #[test]
+    fn grouped_dense_agreement(supports in small_profile()) {
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
+        let belief = BeliefFunction::widened(&freqs, 0.07).unwrap();
+        let graph = belief.build_graph(&supports, 100);
+        let dense = graph.to_dense();
+        prop_assert_eq!(graph.outdegrees(), dense.right_degrees());
+        prop_assert_eq!(graph.n_edges(), dense.n_edges());
+        for i in 0..supports.len() {
+            for y in 0..supports.len() {
+                prop_assert_eq!(graph.has_edge(i, y), dense.has_edge(i, y));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The prefix-tight block decomposition is sound: matchings never
+    /// cross block boundaries, so the exact crack marginals computed
+    /// on each block's standalone subgraph equal the marginals of the
+    /// whole graph.
+    #[test]
+    fn identified_blocks_localize_marginals(
+        (supports, intervals) in small_profile().prop_flat_map(|s| {
+            let b = compliant_belief(&s);
+            (Just(s), b)
+        })
+    ) {
+        use andi::graph::crack_probabilities;
+        let belief = BeliefFunction::from_intervals(intervals).unwrap();
+        let graph = belief.build_graph(&supports, 100);
+        let id = andi::identify_sets(&graph);
+        prop_assume!(!id.blocks.is_empty());
+        let whole = crack_probabilities(&graph.to_dense()).expect("compliant");
+
+        for block in &id.blocks {
+            // Tightness: for compliant beliefs in aligned indexing,
+            // the block's anonymized and original item sets coincide.
+            let mut anon_sorted = block.anonymized_items.clone();
+            anon_sorted.sort_unstable();
+            prop_assert_eq!(&anon_sorted, &block.original_items);
+
+            // Build the block's standalone subgraph (re-indexed).
+            let sub_supports: Vec<u64> = block
+                .original_items
+                .iter()
+                .map(|&i| supports[i])
+                .collect();
+            let sub_intervals: Vec<(f64, f64)> = block
+                .original_items
+                .iter()
+                .map(|&y| belief.interval(y))
+                .collect();
+            let sub = andi::graph::GroupedBigraph::new(&sub_supports, 100, &sub_intervals);
+            let local = crack_probabilities(&sub.to_dense()).expect("block is feasible");
+            for (k, &y) in block.original_items.iter().enumerate() {
+                prop_assert!(
+                    (whole[y] - local[k]).abs() < 1e-9,
+                    "item {y}: whole-graph {} vs block-local {}",
+                    whole[y],
+                    local[k]
+                );
+            }
+        }
+    }
+}
+
+/// Non-proptest: the sampler's long-run mean matches the exact
+/// expectation on a batch of random compliant instances (this is the
+/// statistical contract the paper's Figure 10 relies on).
+#[test]
+fn sampler_tracks_exact_on_random_instances() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let config = SamplerConfig {
+        warmup_swaps: 20_000,
+        swaps_between_samples: 400,
+        samples_per_seed: 500,
+        n_samples: 1_500,
+        use_locality: true,
+    };
+    for trial in 0..6 {
+        let n = rng.gen_range(4..9);
+        let supports: Vec<u64> = (0..n).map(|_| rng.gen_range(1..100)).collect();
+        let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
+        let delta = rng.gen_range(0.01..0.2);
+        let belief = BeliefFunction::widened(&freqs, delta).unwrap();
+        let graph = belief.build_graph(&supports, 100);
+        let exact = expected_cracks(&graph.to_dense()).expect("feasible");
+        let samples = sample_cracks(&graph, &Matching::identity(n), &config, &mut rng).unwrap();
+        let mean = samples.mean();
+        assert!(
+            (mean - exact).abs() < 0.2,
+            "trial {trial}: sampled {mean} vs exact {exact} (n={n}, delta={delta:.3})"
+        );
+    }
+}

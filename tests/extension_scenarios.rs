@@ -1,0 +1,255 @@
+//! Integration scenarios for the beyond-the-paper extensions:
+//! exact estimation, the advisor, sanitization, powerset beliefs and
+//! condensed mining — each exercised across crate boundaries.
+
+use andi::core::advisor::suppression_plan;
+use andi::core::powerset::{ItemsetBelief, PowersetBelief};
+use andi::core::sanitize::{round_supports, utility_loss};
+use andi::mining::{closed_itemsets, maximal_itemsets, Algorithm};
+use andi::{
+    assess_powerset_risk, best_expected_cracks, bigmart, BeliefFunction, EstimateMethod,
+    FrequencyGroups, OutdegreeProfile, RecipeConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact recipe == heuristic recipe on structure, with a value at
+/// least as large (the O-estimate underestimates).
+#[test]
+fn exact_recipe_dominates_heuristic() {
+    let db = bigmart();
+    let supports = db.supports();
+    let heuristic = andi::assess_risk(
+        &supports,
+        10,
+        &RecipeConfig {
+            tolerance: 0.01,
+            ..RecipeConfig::default()
+        },
+    )
+    .unwrap();
+    let exact = andi::assess_risk(
+        &supports,
+        10,
+        &RecipeConfig {
+            tolerance: 0.01,
+            use_exact: true,
+            ..RecipeConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(exact.full_compliance_oe >= heuristic.full_compliance_oe - 1e-9);
+    // Exact risk is higher, so the exact alpha_max is at most the
+    // heuristic one: the owner using exact values is *more* cautious.
+    let (a_exact, a_heur) = (exact.alpha_max().unwrap(), heuristic.alpha_max().unwrap());
+    assert!(a_exact <= a_heur + 0.2, "{a_exact} vs {a_heur}");
+}
+
+/// The advisor's plan actually works: recomputing the O-estimate on
+/// the suppressed release (projected database) meets the budget.
+#[test]
+fn suppression_plan_verifies_end_to_end() {
+    let db = bigmart();
+    let supports = db.supports();
+    let m = db.n_transactions() as u64;
+    let groups = FrequencyGroups::from_supports(&supports, m);
+    let delta = groups.median_gap().unwrap();
+    let belief = BeliefFunction::widened(&db.frequencies(), delta).unwrap();
+    let profile = OutdegreeProfile::plain(&belief.build_graph(&supports, m));
+    let tau = 0.2;
+    let plan = suppression_plan(&profile, tau).unwrap();
+    assert!(plan.n_suppressed() > 0, "tight budget must suppress");
+
+    // Re-check the residual against a fresh masked computation.
+    let mut keep = vec![true; db.n_items()];
+    for &x in &plan.suppress {
+        keep[x] = false;
+    }
+    let masked = profile.oestimate_masked(&keep);
+    assert!(
+        (masked - plan.residual_oestimate).abs() < 1e-12,
+        "plan bookkeeping must match the masked estimate"
+    );
+    assert!(masked <= tau * db.n_items() as f64 + 1e-12);
+}
+
+/// Sanitization lowers the recipe's risk but costs mining fidelity —
+/// the full trade-off in one assertion chain.
+#[test]
+fn sanitization_tradeoff_end_to_end() {
+    let db = bigmart();
+    let mut rng = StdRng::seed_from_u64(5);
+    let sanitized = round_supports(&db, 5, &mut rng).unwrap();
+
+    // Risk side: g collapses from 3 to 1 (Lemma 3).
+    let g_before = FrequencyGroups::of_database(&db).n_groups();
+    let g_after = FrequencyGroups::of_database(&sanitized.database).n_groups();
+    assert_eq!(g_before, 3);
+    assert_eq!(g_after, 1);
+
+    // Utility side: frequencies drifted, mining results differ.
+    let loss = utility_loss(&db, &sanitized).unwrap();
+    assert!(loss.mean_frequency_error > 0.0);
+    let before = Algorithm::FpGrowth.mine(&db, 4);
+    let after = Algorithm::FpGrowth.mine(&sanitized.database, 4);
+    assert_ne!(before, after, "perturbation must show up in mining");
+}
+
+/// Powerset knowledge strictly refines item knowledge, and the
+/// refined graph remains usable by the exact estimators.
+#[test]
+fn powerset_pruning_feeds_exact_estimation() {
+    let db = bigmart();
+    let item_belief = BeliefFunction::point_valued(&db.frequencies()).unwrap();
+
+    // Item-level exact expectation.
+    let item_graph = item_belief.build_graph(&db.supports(), 10);
+    let item_exact = best_expected_cracks(&item_graph, 1_000_000).unwrap();
+    assert!(item_exact.method.is_exact());
+    assert!((item_exact.value - 3.0).abs() < 1e-9);
+
+    // Pair-level pruning raises the exact expectation.
+    let pair_support = db.itemset_support(&[andi::ItemId(0), andi::ItemId(1)]);
+    let f = pair_support as f64 / 10.0;
+    let belief = PowersetBelief::item_only(item_belief)
+        .with_set(ItemsetBelief::new(vec![0, 1], (f, f)).unwrap())
+        .unwrap();
+    let risk = assess_powerset_risk(&db, &belief).unwrap();
+    let pruned_exact = andi::graph::expected_cracks(&risk.graph).unwrap();
+    assert!(
+        pruned_exact > item_exact.value + 0.5,
+        "pair knowledge must raise the exact expectation: {pruned_exact}"
+    );
+}
+
+/// Condensed mining representations survive the anonymization
+/// round-trip exactly like the full results.
+#[test]
+fn condensed_mining_roundtrips_through_anonymization() {
+    let db = bigmart();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mapping = andi::AnonymizationMapping::random(db.n_items(), &mut rng);
+    let released = mapping.anonymize_database(&db).unwrap();
+
+    let truth_closed = closed_itemsets(&Algorithm::Eclat.mine(&db, 3));
+    let anon_closed = closed_itemsets(&Algorithm::Eclat.mine(&released, 3));
+    assert_eq!(anon_closed.relabel(mapping.backward()), truth_closed);
+
+    let truth_maximal = maximal_itemsets(&Algorithm::Apriori.mine(&db, 3));
+    let anon_maximal = maximal_itemsets(&Algorithm::Apriori.mine(&released, 3));
+    assert_eq!(anon_maximal.relabel(mapping.backward()), truth_maximal);
+}
+
+/// Brute-force soundness of the powerset pruning: an edge is pruned
+/// only if NO full crack mapping consistent with every set belief
+/// uses it. Verified by enumerating all consistent perfect matchings
+/// of the item-level graph and filtering by the set constraints.
+#[test]
+fn powerset_pruning_is_sound_by_enumeration() {
+    let db = bigmart();
+    let n = db.n_items();
+    let item_belief = BeliefFunction::point_valued(&db.frequencies()).unwrap();
+
+    // A handful of pair/triple beliefs with their true frequencies.
+    let sets: Vec<Vec<usize>> = vec![vec![0, 1], vec![2, 3], vec![0, 1, 2]];
+    let mut belief = PowersetBelief::item_only(item_belief.clone());
+    let mut constraints: Vec<(Vec<usize>, f64)> = Vec::new();
+    for items in &sets {
+        let ids: Vec<andi::ItemId> = items.iter().map(|&x| andi::ItemId(x as u32)).collect();
+        let f = db.itemset_support(&ids) as f64 / 10.0;
+        constraints.push((items.clone(), f));
+        belief = belief
+            .with_set(ItemsetBelief::new(items.clone(), (f, f)).unwrap())
+            .unwrap();
+    }
+    let risk = assess_powerset_risk(&db, &belief).unwrap();
+    assert!(risk.pruned_edges > 0, "constraints must bite");
+
+    // Enumerate all perfect matchings of the UNPRUNED item graph and
+    // keep those where every believed set's observed frequency (the
+    // frequency of the matched anonymized counterparts) matches.
+    let item_graph = item_belief.build_graph(&db.supports(), 10).to_dense();
+    let mut surviving_edges = vec![vec![false; n]; n];
+    let mut assignment = vec![usize::MAX; n];
+    // assignment[y] = anonymized item matched to original y.
+    fn rec(
+        g: &andi::graph::DenseBigraph,
+        db: &andi::Database,
+        constraints: &[(Vec<usize>, f64)],
+        y: usize,
+        used: &mut Vec<bool>,
+        assignment: &mut Vec<usize>,
+        surviving: &mut Vec<Vec<bool>>,
+    ) {
+        let n = g.n();
+        if y == n {
+            // Check every set constraint under this full mapping.
+            for (items, f) in constraints {
+                let anon: Vec<andi::ItemId> = items
+                    .iter()
+                    .map(|&orig| andi::ItemId(assignment[orig] as u32))
+                    .collect();
+                let observed = db.itemset_support(&anon) as f64 / 10.0;
+                if (observed - f).abs() > 1e-12 {
+                    return;
+                }
+            }
+            for (orig, &anon) in assignment.iter().enumerate() {
+                surviving[anon][orig] = true;
+            }
+            return;
+        }
+        for i in 0..n {
+            if !used[i] && g.has_edge(i, y) {
+                used[i] = true;
+                assignment[y] = i;
+                rec(g, db, constraints, y + 1, used, assignment, surviving);
+                used[i] = false;
+            }
+        }
+    }
+    let mut used = vec![false; n];
+    rec(
+        &item_graph,
+        &db,
+        &constraints,
+        0,
+        &mut used,
+        &mut assignment,
+        &mut surviving_edges,
+    );
+
+    // Soundness: every edge used by some surviving matching must have
+    // survived the pruning.
+    for (i, row) in surviving_edges.iter().enumerate() {
+        for (y, &survives) in row.iter().enumerate() {
+            if survives {
+                assert!(
+                    risk.graph.has_edge(i, y),
+                    "edge ({i}', {y}) used by a consistent mapping but pruned"
+                );
+            }
+        }
+    }
+}
+
+/// The exact estimator's provenance is reported truthfully: forcing
+/// the fallback chain produces the expected methods.
+#[test]
+fn estimator_provenance_chain() {
+    let db = bigmart();
+    let belief = BeliefFunction::widened(&db.frequencies(), 0.1).unwrap();
+    let graph = belief.build_graph(&db.supports(), 10);
+
+    let fast = best_expected_cracks(&graph, 1_000_000).unwrap();
+    assert!(matches!(fast.method, EstimateMethod::ConvexExact { .. }));
+
+    let ryser = best_expected_cracks(&graph, 0).unwrap();
+    assert_eq!(ryser.method, EstimateMethod::RyserExact);
+    assert!(
+        (fast.value - ryser.value).abs() < 1e-9,
+        "both exact paths agree: {} vs {}",
+        fast.value,
+        ryser.value
+    );
+}
