@@ -14,6 +14,9 @@
 //! which one answered, so callers (and reports) know whether a
 //! number is exact or heuristic.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use andi_graph::convex::{expected_cracks_convex, ConvexError};
 use andi_graph::exact::expected_cracks as ryser_expected_cracks;
 use andi_graph::GroupedBigraph;
@@ -109,11 +112,88 @@ pub fn best_expected_cracks(graph: &GroupedBigraph, state_budget: usize) -> Resu
     }
 
     // 3. O-estimate with propagation.
-    let profile = OutdegreeProfile::propagated(graph)?;
+    let profile = cached_profile(graph, true)?;
     Ok(CrackEstimate {
         value: profile.oestimate(),
         method: EstimateMethod::OEstimate,
     })
+}
+
+/// Entry cap on the profile memo; the cache is cleared wholesale when
+/// it fills (profiles are cheap to rebuild, the cap only bounds
+/// memory on long α/τ sweeps over many distinct beliefs).
+const PROFILE_CACHE_CAP: usize = 256;
+
+type ProfileCache = Mutex<HashMap<(u64, bool), Arc<OutdegreeProfile>>>;
+
+fn profile_cache() -> &'static ProfileCache {
+    static CACHE: OnceLock<ProfileCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Structural fingerprint of a grouped mapping space: FNV-1a over the
+/// domain size, transaction count, group supports/sizes, each item's
+/// frequency group and each item's candidate group range. Two graphs
+/// share a fingerprint iff they were built from the same (supports,
+/// n_transactions, belief intervals) modulo hash collisions — the
+/// belief only enters `GroupedBigraph` through exactly these fields.
+fn graph_fingerprint(graph: &GroupedBigraph) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(graph.n() as u64);
+    mix(graph.n_transactions());
+    for &s in graph.group_supports() {
+        mix(s);
+    }
+    for &s in graph.group_sizes() {
+        mix(s as u64);
+    }
+    for i in 0..graph.n() {
+        mix(graph.left_group_of(i) as u64);
+        match graph.right_range_of(i) {
+            Some((lo, hi)) => {
+                mix(lo as u64 + 1);
+                mix(hi as u64 + 1);
+            }
+            None => mix(0),
+        }
+    }
+    h
+}
+
+/// Memoized [`OutdegreeProfile`] lookup keyed by the graph's
+/// structural fingerprint (which encodes the belief and supports) and
+/// the propagation flag. Repeated α/τ sweeps over the same release —
+/// the recipe's common shape — rebuild the profile once instead of
+/// per call; the `Arc` is shared, never cloned deep.
+///
+/// # Errors
+///
+/// Propagates [`OutdegreeProfile::propagated`]'s empty-mapping-space
+/// error (never cached).
+pub fn cached_profile(graph: &GroupedBigraph, propagated: bool) -> Result<Arc<OutdegreeProfile>> {
+    let key = (graph_fingerprint(graph), propagated);
+    if let Some(hit) = profile_cache().lock().unwrap().get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let profile = Arc::new(if propagated {
+        OutdegreeProfile::propagated(graph)?
+    } else {
+        OutdegreeProfile::plain(graph)
+    });
+    let mut cache = profile_cache().lock().unwrap();
+    if cache.len() >= PROFILE_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, Arc::clone(&profile));
+    Ok(profile)
 }
 
 #[cfg(test)]
@@ -183,6 +263,38 @@ mod tests {
         let e = best_expected_cracks(&g, 0).unwrap();
         assert_eq!(e.method, EstimateMethod::OEstimate);
         assert!(!e.method.is_exact());
+    }
+
+    #[test]
+    fn profile_cache_shares_and_discriminates() {
+        let b = BeliefFunction::widened(&freqs(), 0.1).unwrap();
+        let g = b.build_graph(&BIGMART_SUPPORTS, 10);
+        let p1 = cached_profile(&g, false).unwrap();
+        let p2 = cached_profile(&g, false).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup must hit the cache");
+
+        // A structurally identical rebuild (fresh allocation) still
+        // hits: the key is the fingerprint, not the address.
+        let g_again = b.build_graph(&BIGMART_SUPPORTS, 10);
+        let p3 = cached_profile(&g_again, false).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3));
+
+        // The propagation flag and a different belief both miss.
+        let p_prop = cached_profile(&g, true).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p_prop));
+        let wider = BeliefFunction::widened(&freqs(), 0.2).unwrap();
+        let g_wide = wider.build_graph(&BIGMART_SUPPORTS, 10);
+        let p_wide = cached_profile(&g_wide, false).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p_wide));
+        assert_ne!(
+            graph_fingerprint(&g),
+            graph_fingerprint(&g_wide),
+            "wider belief must change the fingerprint"
+        );
+
+        // Cached values agree with direct construction.
+        let direct = OutdegreeProfile::plain(&g);
+        assert_eq!(p1.probabilities(), direct.probabilities());
     }
 
     #[test]

@@ -39,6 +39,15 @@
 //! assert!(assessment.discloses());
 //! ```
 
+/// The deterministic work-stealing execution layer (re-exported from
+/// [`andi_graph::par`]): [`parallel::map_indexed`] with its
+/// bit-identity contract, [`parallel::chunk_ranges`], and the
+/// `ANDI_THREADS` resolution in [`parallel::available_threads`]. The
+/// recipe, permanent and sampler hot paths all fan out through it.
+pub mod parallel {
+    pub use andi_graph::par::*;
+}
+
 pub mod advisor;
 pub mod anonymize;
 pub mod belief;
@@ -62,7 +71,7 @@ pub use anonymize::AnonymizationMapping;
 pub use belief::BeliefFunction;
 pub use chain::ChainSpec;
 pub use error::{Error, Result};
-pub use estimate::{best_expected_cracks, CrackEstimate, EstimateMethod};
+pub use estimate::{best_expected_cracks, cached_profile, CrackEstimate, EstimateMethod};
 pub use formulas::{
     ignorant_expected_cracks, ignorant_expected_cracks_of_subset, point_valued_expected_cracks,
     point_valued_expected_cracks_of_subset,
@@ -74,7 +83,8 @@ pub use itemsets::{identify_sets, IdentifiedBlock, SetIdentification};
 pub use oestimate::{oestimate, oestimate_for, oestimate_propagated, ItemStatus, OutdegreeProfile};
 pub use powerset::{assess_powerset_risk, ItemsetBelief, PowersetBelief, PowersetRisk};
 pub use recipe::{
-    assess_risk, compliancy_curve, compliancy_curve_decoy, compliancy_curve_probs, CompliancyPoint,
+    assess_risk, compliancy_curve, compliancy_curve_decoy, compliancy_curve_decoy_with_threads,
+    compliancy_curve_probs, compliancy_curve_probs_with_threads, compliant_count, CompliancyPoint,
     RecipeConfig, RiskAssessment, RiskDecision,
 };
 pub use relational::{

@@ -20,6 +20,7 @@
 //! floating-point fixpoints.
 
 use andi_data::FrequencyGroups;
+use andi_graph::par;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -27,6 +28,25 @@ use rand::SeedableRng;
 use crate::belief::BeliefFunction;
 use crate::error::{Error, Result};
 use crate::oestimate::OutdegreeProfile;
+
+/// Number of compliant items for a degree of compliancy `alpha` over
+/// a domain of `n` items: `round(alpha·n)`, clamped to `[0, n]`.
+///
+/// This is *the* α→count quantization used everywhere the recipe
+/// anchors a fractional degree of compliancy to a concrete compliant
+/// subset (the binary search works on these integer counts directly,
+/// so the two directions agree). Round-half-up at the midpoints:
+/// `compliant_count(0.25, 6) = 2` (1.5 rounds away from zero).
+///
+/// Negative or NaN `alpha` clamps to 0; `alpha > 1` clamps to `n`.
+pub fn compliant_count(alpha: f64, n: usize) -> usize {
+    let scaled = (alpha * n as f64).round();
+    if scaled.is_nan() || scaled <= 0.0 {
+        0
+    } else {
+        (scaled as usize).min(n)
+    }
+}
 
 /// Tuning knobs for [`assess_risk`].
 #[derive(Clone, Copy, Debug)]
@@ -260,7 +280,12 @@ pub fn assess_risk(
     // Steps 8-9: binary search the largest compliant-item count whose
     // mask-averaged OE fits the budget. Per-run nested prefixes give
     // exact monotonicity; per-run prefix sums make each probe O(1).
-    let prefix_sums = mask_prefix_sums(&probs, config.n_mask_runs, config.seed);
+    let prefix_sums = mask_prefix_sums(
+        &probs,
+        config.n_mask_runs,
+        config.seed,
+        par::available_threads(),
+    );
     let avg_oe_at = |c: usize| -> f64 {
         prefix_sums.iter().map(|ps| ps[c]).sum::<f64>() / prefix_sums.len() as f64
     };
@@ -313,19 +338,34 @@ pub fn compliancy_curve(
 }
 
 /// [`compliancy_curve`] over raw per-item crack probabilities (from
-/// any estimator, e.g. the convex-exact marginals).
+/// any estimator, e.g. the convex-exact marginals). The mask runs fan
+/// out over [`par::available_threads`] workers.
 pub fn compliancy_curve_probs(
     probs: &[f64],
     alphas: &[f64],
     n_mask_runs: usize,
     seed: u64,
 ) -> Vec<CompliancyPoint> {
+    compliancy_curve_probs_with_threads(probs, alphas, n_mask_runs, seed, par::available_threads())
+}
+
+/// [`compliancy_curve_probs`] with an explicit worker count. The
+/// output is bit-identical for every `threads` value: each mask run
+/// is seeded `seed + run_index` and computed whole on one worker, and
+/// the per-α averages always reduce the runs in run order.
+pub fn compliancy_curve_probs_with_threads(
+    probs: &[f64],
+    alphas: &[f64],
+    n_mask_runs: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<CompliancyPoint> {
     let n = probs.len();
-    let prefix_sums = mask_prefix_sums(probs, n_mask_runs.max(1), seed);
+    let prefix_sums = mask_prefix_sums(probs, n_mask_runs.max(1), seed, threads);
     alphas
         .iter()
         .map(|&alpha| {
-            let c = ((alpha * n as f64).round() as usize).min(n);
+            let c = compliant_count(alpha, n);
             let oe = prefix_sums.iter().map(|ps| ps[c]).sum::<f64>() / prefix_sums.len() as f64;
             CompliancyPoint {
                 alpha,
@@ -359,74 +399,95 @@ pub fn compliancy_curve_decoy(
     n_mask_runs: usize,
     seed: u64,
 ) -> Vec<CompliancyPoint> {
+    compliancy_curve_decoy_with_threads(
+        graph,
+        mean_width,
+        alphas,
+        n_mask_runs,
+        seed,
+        par::available_threads(),
+    )
+}
+
+/// [`compliancy_curve_decoy`] with an explicit worker count. Each α
+/// is an independent task (the decoy term couples all items of a
+/// probe, so per-α — not per-run — is the natural grain here); every
+/// α still accumulates its runs in run order and items in order
+/// position, so the curve is bit-identical at any `threads`.
+pub fn compliancy_curve_decoy_with_threads(
+    graph: &andi_graph::GroupedBigraph,
+    mean_width: f64,
+    alphas: &[f64],
+    n_mask_runs: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<CompliancyPoint> {
     let n = graph.n();
     let outdegrees = graph.outdegrees();
     // Per-run random orders over ALL items (compliant prefix model,
-    // as in mask_prefix_sums).
-    let orders: Vec<Vec<usize>> = (0..n_mask_runs.max(1))
-        .map(|r| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
-            let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut rng);
-            order
-        })
-        .collect();
+    // as in mask_prefix_sums); run r is seeded `seed + r` regardless
+    // of which worker shuffles it.
+    let orders = par::map_indexed(threads, n_mask_runs.max(1), |r| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        order
+    });
 
-    alphas
-        .iter()
-        .map(|&alpha| {
-            let c = ((alpha * n as f64).round() as usize).min(n);
-            let decoys = (1.0 - alpha).max(0.0) * n as f64 * mean_width.clamp(0.0, 1.0);
-            let mut total = 0.0;
-            for order in &orders {
-                for &x in order.iter().take(c) {
-                    // Only items whose crack edge exists can be
-                    // cracked; O_x = 0 items are unmatchable anyway.
-                    if graph.crack_edge_exists(x) && outdegrees[x] > 0 {
-                        total += 1.0 / (outdegrees[x] as f64 + decoys);
-                    }
+    par::map_indexed(threads, alphas.len(), |a| {
+        let alpha = alphas[a];
+        let c = compliant_count(alpha, n);
+        let decoys = (1.0 - alpha).max(0.0) * n as f64 * mean_width.clamp(0.0, 1.0);
+        let mut total = 0.0;
+        for order in &orders {
+            for &x in order.iter().take(c) {
+                // Only items whose crack edge exists can be
+                // cracked; O_x = 0 items are unmatchable anyway.
+                if graph.crack_edge_exists(x) && outdegrees[x] > 0 {
+                    total += 1.0 / (outdegrees[x] as f64 + decoys);
                 }
             }
-            let oe = total / orders.len() as f64;
-            CompliancyPoint {
-                alpha,
-                oestimate: oe,
-                fraction: oe / n as f64,
-            }
-        })
-        .collect()
+        }
+        let oe = total / orders.len() as f64;
+        CompliancyPoint {
+            alpha,
+            oestimate: oe,
+            fraction: oe / n as f64,
+        }
+    })
 }
 
-/// Crack probabilities via the O-estimate path.
+/// Crack probabilities via the O-estimate path (profiles memoized on
+/// the graph fingerprint, see [`crate::estimate::cached_profile`] —
+/// τ sweeps over one release hit the cache after the first call).
 fn oe_probabilities(graph: &andi_graph::GroupedBigraph, config: &RecipeConfig) -> Result<Vec<f64>> {
-    let profile = if config.use_propagation {
-        OutdegreeProfile::propagated(graph)?
-    } else {
-        OutdegreeProfile::plain(graph)
-    };
+    let profile = crate::estimate::cached_profile(graph, config.use_propagation)?;
     Ok(profile.probabilities())
 }
 
 /// Per-run prefix sums of crack probabilities along a random item
 /// order: `ps[c]` is the masked OE when the first `c` items of the
 /// run's permutation are compliant.
-fn mask_prefix_sums(probs: &[f64], n_runs: usize, seed: u64) -> Vec<Vec<f64>> {
+///
+/// Runs fan out over `threads` workers; run `r` always uses the RNG
+/// seed `seed + r` and its prefix sums accumulate serially within the
+/// run, so the returned vectors are bit-identical for every thread
+/// count.
+fn mask_prefix_sums(probs: &[f64], n_runs: usize, seed: u64, threads: usize) -> Vec<Vec<f64>> {
     let n = probs.len();
-    (0..n_runs)
-        .map(|r| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
-            let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut rng);
-            let mut ps = Vec::with_capacity(n + 1);
-            ps.push(0.0);
-            let mut acc = 0.0;
-            for &x in &order {
-                acc += probs[x];
-                ps.push(acc);
-            }
-            ps
-        })
-        .collect()
+    par::map_indexed(threads, n_runs, |r| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut ps = Vec::with_capacity(n + 1);
+        ps.push(0.0);
+        let mut acc = 0.0;
+        for &x in &order {
+            acc += probs[x];
+            ps.push(acc);
+        }
+        ps
+    })
 }
 
 #[cfg(test)]
@@ -442,6 +503,55 @@ mod tests {
             use_propagation: true,
             seed: 99,
             ..RecipeConfig::default()
+        }
+    }
+
+    #[test]
+    fn compliant_count_boundaries() {
+        // The four α boundaries the recipe actually probes, across a
+        // spread of domain sizes (including sizes where alpha*n lands
+        // exactly on .5 and where 1/n is not representable exactly).
+        for n in [1usize, 2, 3, 6, 7, 10, 97, 1000] {
+            let inv = 1.0 / n as f64;
+            assert_eq!(compliant_count(0.0, n), 0, "alpha = 0, n = {n}");
+            assert_eq!(compliant_count(inv, n), 1, "alpha = 1/n, n = {n}");
+            assert_eq!(
+                compliant_count(1.0 - inv, n),
+                n - 1,
+                "alpha = 1 - 1/n, n = {n}"
+            );
+            assert_eq!(compliant_count(1.0, n), n, "alpha = 1, n = {n}");
+        }
+        // Rounding, not truncation: 0.25 * 6 = 1.5 rounds up.
+        assert_eq!(compliant_count(0.25, 6), 2);
+        // Just below a half-step stays down.
+        assert_eq!(compliant_count(0.24, 6), 1);
+        // Degenerate inputs clamp instead of wrapping or panicking.
+        assert_eq!(compliant_count(-0.5, 10), 0);
+        assert_eq!(compliant_count(1.5, 10), 10);
+        assert_eq!(compliant_count(f64::NAN, 10), 0);
+        assert_eq!(compliant_count(0.5, 0), 0);
+    }
+
+    #[test]
+    fn curves_are_thread_count_invariant() {
+        let freqs: Vec<f64> = BIGMART_SUPPORTS.iter().map(|&s| s as f64 / 10.0).collect();
+        let belief = BeliefFunction::widened(&freqs, 0.1).unwrap();
+        let graph = belief.build_graph(&BIGMART_SUPPORTS, 10);
+        let probs = OutdegreeProfile::plain(&graph).probabilities();
+        let alphas: Vec<f64> = (0..=20).map(|k| k as f64 / 20.0).collect();
+        let base = compliancy_curve_probs_with_threads(&probs, &alphas, 7, 11, 1);
+        let base_decoy = compliancy_curve_decoy_with_threads(&graph, 0.2, &alphas, 7, 11, 1);
+        for threads in 2..=8 {
+            let par_curve = compliancy_curve_probs_with_threads(&probs, &alphas, 7, 11, threads);
+            let par_decoy =
+                compliancy_curve_decoy_with_threads(&graph, 0.2, &alphas, 7, 11, threads);
+            for (a, b) in base.iter().zip(&par_curve) {
+                assert_eq!(a.oestimate.to_bits(), b.oestimate.to_bits(), "t={threads}");
+            }
+            for (a, b) in base_decoy.iter().zip(&par_decoy) {
+                assert_eq!(a.oestimate.to_bits(), b.oestimate.to_bits(), "t={threads}");
+            }
         }
     }
 

@@ -18,6 +18,9 @@
 //! * [`mod@propagate`] — the Figure 7 degree-1 propagation.
 //! * [`sampler`] — the Section 7.1 swap-walk MCMC over consistent
 //!   matchings.
+//! * [`par`] — the deterministic work-stealing execution layer the
+//!   permanent, sampler and (via `andi-core`) recipe hot paths fan
+//!   out on.
 
 pub mod convex;
 pub mod dense;
@@ -25,6 +28,7 @@ pub mod dot;
 pub mod exact;
 pub mod grouped;
 pub mod matching;
+pub mod par;
 pub mod permanent;
 pub mod propagate;
 pub mod sampler;
@@ -35,6 +39,11 @@ pub use dot::{to_dot, DotOptions};
 pub use exact::{crack_distribution, crack_probabilities, expected_cracks};
 pub use grouped::{BeliefGroup, GroupedBigraph, Matching};
 pub use matching::{has_perfect_matching, hopcroft_karp};
-pub use permanent::{permanent, MAX_PERMANENT_N};
+pub use permanent::{
+    permanent, permanent_of_rows, try_permanent, try_permanent_of_rows, MAX_PERMANENT_N,
+};
 pub use propagate::{propagate, Propagation};
-pub use sampler::{sample_cracks, CrackSamples, EdgeOracle, SamplerConfig, SamplerError};
+pub use sampler::{
+    sample_cracks, sample_cracks_sharded, sample_cracks_with_threads, CrackSamples, EdgeOracle,
+    SamplerConfig, SamplerError,
+};

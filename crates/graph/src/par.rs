@@ -1,0 +1,168 @@
+//! Deterministic parallel execution layer.
+//!
+//! Every estimator in this workspace that fans out over independent
+//! subproblems — recipe mask runs, Ryser subset chunks, sampler
+//! shards — goes through [`map_indexed`]: a scoped pool over the
+//! vendored `crossbeam::thread::scope` with a shared self-scheduling
+//! task queue (work-stealing-style dynamic load balancing: idle
+//! workers pull the next unclaimed index, so uneven task costs never
+//! leave a core idle).
+//!
+//! # Determinism contract
+//!
+//! `map_indexed(threads, n, f)` returns exactly
+//! `(0..n).map(f).collect()` — same values, same order — for *every*
+//! `threads` value, provided `f(i)` depends only on `i`. Callers
+//! then reduce the returned vector in index order, so floating-point
+//! accumulation order is fixed and results are bit-identical at any
+//! thread count (including the serial `threads == 1` fallback, which
+//! never spawns).
+//!
+//! # Thread-count resolution
+//!
+//! [`available_threads`] resolves the ambient parallelism: the
+//! `ANDI_THREADS` environment variable when set (values `0` and `1`
+//! both mean serial), otherwise `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "ANDI_THREADS";
+
+/// Resolves the ambient thread count: `ANDI_THREADS` when set (and
+/// parseable), otherwise the machine's available parallelism. Always
+/// at least 1.
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n_tasks` on up to `threads` workers and returns
+/// the results in index order (see the module docs for the
+/// determinism contract). `threads <= 1` (or fewer than two tasks)
+/// runs serially on the calling thread without spawning.
+pub fn map_indexed<T, F>(threads: usize, n_tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let workers = threads.min(n_tasks);
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n_tasks);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("parallel worker panicked"));
+        }
+    })
+    .expect("parallel scope panicked");
+    debug_assert_eq!(tagged.len(), n_tasks);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Splits the half-open range `[0, total)` into at most `max_chunks`
+/// contiguous chunks of near-equal size (first chunks one longer when
+/// `total` does not divide evenly). Chunk boundaries depend only on
+/// `total` and `max_chunks`, never on the thread count.
+pub fn chunk_ranges(total: u64, max_chunks: usize) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let chunks = (max_chunks.max(1) as u64).min(total);
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut out = Vec::with_capacity(chunks as usize);
+    let mut start = 0u64;
+    for c in 0..chunks {
+        let len = base + u64::from(c < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_matches_serial_at_every_thread_count() {
+        let serial: Vec<u64> = (0..37).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in 1..=8 {
+            let par = map_indexed(threads, 37, |i| (i as u64) * 3 + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        assert_eq!(map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn map_indexed_balances_uneven_tasks() {
+        // Tasks with wildly different costs still produce ordered
+        // results.
+        let out = map_indexed(4, 16, |i| {
+            let spins = if i % 4 == 0 { 200_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (k, &(i, _)) in out.iter().enumerate() {
+            assert_eq!(k, i);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0u64, 1, 7, 64, 1 << 20] {
+            for chunks in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(total, chunks);
+                let mut expected = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, expected);
+                    assert!(e > s);
+                    expected = e;
+                }
+                assert_eq!(expected, total);
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_is_respected() {
+        // Serial resolution path only: parsing, not the live env
+        // (tests must not mutate process-global state).
+        assert!(available_threads() >= 1);
+    }
+}

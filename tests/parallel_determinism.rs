@@ -1,0 +1,151 @@
+//! The parallel layer's determinism contract, property-tested end to
+//! end: every threaded hot path — recipe curves, Ryser permanents,
+//! the sharded sampler — must return **bit-identical** results at
+//! every thread count from 1 to 8, across random graphs, beliefs,
+//! seeds and schedules. (`andi_core::parallel` documents the
+//! contract; these tests are its teeth.)
+
+use andi_core::{
+    compliancy_curve_decoy_with_threads, compliancy_curve_probs_with_threads, compliant_count,
+    BeliefFunction, OutdegreeProfile,
+};
+use andi_graph::permanent::try_permanent_of_rows_with_threads;
+use andi_graph::sampler::{sample_cracks_with_threads, SamplerConfig};
+use andi_graph::{GroupedBigraph, Matching};
+use proptest::prelude::*;
+
+/// Strategy: supports plus a compliant widened belief over m = 60,
+/// rendered as a grouped graph.
+fn grouped_graph() -> impl Strategy<Value = GroupedBigraph> {
+    (2usize..=10).prop_flat_map(|n| {
+        (prop::collection::vec(1u64..60, n), 0.0f64..0.3).prop_map(|(supports, delta)| {
+            let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 60.0).collect();
+            let belief = BeliefFunction::widened(&freqs, delta).unwrap();
+            belief.build_graph(&supports, 60)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compliancy curve (per-run mask fan-out) is bit-identical
+    /// at every thread count.
+    #[test]
+    fn recipe_curve_is_bit_identical_across_threads(
+        g in grouped_graph(),
+        n_runs in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let probs = OutdegreeProfile::plain(&g).probabilities();
+        let alphas: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+        let serial = compliancy_curve_probs_with_threads(&probs, &alphas, n_runs, seed, 1);
+        for threads in 2..=8 {
+            let par = compliancy_curve_probs_with_threads(&probs, &alphas, n_runs, seed, threads);
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(
+                    a.oestimate.to_bits(), b.oestimate.to_bits(),
+                    "threads={}, alpha={}", threads, a.alpha
+                );
+            }
+        }
+    }
+
+    /// The decoy curve (per-α fan-out) is bit-identical at every
+    /// thread count.
+    #[test]
+    fn decoy_curve_is_bit_identical_across_threads(
+        g in grouped_graph(),
+        n_runs in 1usize..7,
+        seed in 0u64..1000,
+        width_pct in 0u32..40,
+    ) {
+        let width = width_pct as f64 / 100.0;
+        let alphas: Vec<f64> = (0..=8).map(|k| k as f64 / 8.0).collect();
+        let serial = compliancy_curve_decoy_with_threads(&g, width, &alphas, n_runs, seed, 1);
+        for threads in 2..=8 {
+            let par = compliancy_curve_decoy_with_threads(&g, width, &alphas, n_runs, seed, threads);
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(
+                    a.oestimate.to_bits(), b.oestimate.to_bits(),
+                    "threads={}, alpha={}", threads, a.alpha
+                );
+            }
+        }
+    }
+
+    /// Chunked-parallel Ryser equals the serial walk exactly (integer
+    /// arithmetic, so no tolerance at all) on random row masks.
+    #[test]
+    fn permanent_is_identical_across_threads(
+        rows in prop::collection::vec(1u64..(1 << 12), 12),
+        extra_density in 0u64..(1 << 12),
+    ) {
+        let n = rows.len();
+        // Mix in a shared mask so some instances are dense.
+        let rows: Vec<u64> = rows.iter().map(|&r| r | extra_density).collect();
+        let serial = try_permanent_of_rows_with_threads(&rows, n, 1);
+        for threads in 2..=8 {
+            prop_assert_eq!(
+                try_permanent_of_rows_with_threads(&rows, n, threads),
+                serial,
+                "threads={}", threads
+            );
+        }
+    }
+
+    /// The sharded sampler returns the same sample vector — not just
+    /// the same mean — at every thread count.
+    #[test]
+    fn sampler_is_bit_identical_across_threads(
+        g in grouped_graph(),
+        rng_seed in 0u64..1000,
+        per_seed in 8usize..40,
+    ) {
+        let seed = g.greedy_matching();
+        prop_assume!(seed.size() > 0);
+        let config = SamplerConfig {
+            warmup_swaps: 200,
+            swaps_between_samples: 20,
+            samples_per_seed: per_seed,
+            n_samples: 100,
+            use_locality: true,
+        };
+        let serial = sample_cracks_with_threads(&g, &seed, &config, rng_seed, 1).unwrap();
+        for threads in 2..=8 {
+            let par = sample_cracks_with_threads(&g, &seed, &config, rng_seed, threads).unwrap();
+            prop_assert_eq!(&par.counts, &serial.counts, "threads={}", threads);
+        }
+    }
+
+    /// `compliant_count` is monotone in α and inverts exact grid
+    /// points: `compliant_count(c/n, n) == c`.
+    #[test]
+    fn compliant_count_round_trips_grid_points(n in 1usize..500, steps in 1usize..50) {
+        for c in 0..=n.min(steps) {
+            prop_assert_eq!(compliant_count(c as f64 / n as f64, n), c);
+        }
+        let mut prev = 0;
+        for k in 0..=steps {
+            let alpha = k as f64 / steps as f64;
+            let c = compliant_count(alpha, n);
+            prop_assert!(c >= prev, "not monotone at alpha={}", alpha);
+            prop_assert!(c <= n);
+            prev = c;
+        }
+    }
+}
+
+/// A seed matching must exist for the sampler property to be
+/// non-vacuous on at least the complete graph; pin one concrete case
+/// outside the proptest so a pathological strategy can't silently
+/// reject everything.
+#[test]
+fn sampler_shard_determinism_concrete_case() {
+    use andi_graph::DenseBigraph;
+    let g = DenseBigraph::complete(7);
+    let config = SamplerConfig::quick();
+    let a = sample_cracks_with_threads(&g, &Matching::identity(7), &config, 3, 1).unwrap();
+    let b = sample_cracks_with_threads(&g, &Matching::identity(7), &config, 3, 6).unwrap();
+    assert_eq!(a.counts, b.counts);
+}

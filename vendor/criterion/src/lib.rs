@@ -1,0 +1,294 @@
+//! Offline, in-tree subset of the `criterion` API.
+//!
+//! Benchmarks keep their upstream-criterion source shape
+//! (`criterion_group!` / `criterion_main!`, groups, `iter`,
+//! `iter_batched`, throughput) but run on a small wall-clock harness:
+//! each benchmark is calibrated to ~5 ms batches, sampled
+//! `sample_size` times, and summarized as min / median / mean ns per
+//! iteration.
+//!
+//! Every run also emits a machine-readable baseline
+//! `BENCH_<target>.json` (the `_perf` suffix is stripped:
+//! `recipe_perf` → `BENCH_recipe.json`) into `$ANDI_BENCH_OUT` or the
+//! current directory, so perf trajectories can be tracked across PRs.
+//!
+//! `--test` in the arguments (as passed by `cargo bench -- --test`)
+//! runs every benchmark exactly once without sampling or JSON output.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target batch duration per sample, nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 5_000_000;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (the harness times the
+/// routine per call either way, so this is shape-compat only).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup per call).
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    group: String,
+    bench: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput_elems: Option<u64>,
+}
+
+/// The harness root; collects results and writes the JSON baseline
+/// when dropped.
+pub struct Criterion {
+    target: String,
+    test_mode: bool,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::for_target("bench")
+    }
+}
+
+impl Criterion {
+    /// Builds the harness for a named bench target (wired up by
+    /// [`criterion_group!`], which passes `CARGO_CRATE_NAME`).
+    pub fn for_target(target: &str) -> Self {
+        Criterion {
+            target: target.to_string(),
+            test_mode: std::env::args().any(|a| a == "--test"),
+            records: Vec::new(),
+        }
+    }
+
+    /// Upstream-compat no-op (arguments are read in `for_target`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn baseline_path(&self) -> std::path::PathBuf {
+        let stem = self.target.strip_suffix("_perf").unwrap_or(&self.target);
+        let dir = std::env::var("ANDI_BENCH_OUT").unwrap_or_else(|_| ".".into());
+        std::path::Path::new(&dir).join(format!("BENCH_{stem}.json"))
+    }
+
+    fn write_baseline(&self) {
+        if self.test_mode || self.records.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"target\": \"{}\",\n", self.target));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"bench\": \"{}\", \"min\": {:.1}, \
+                 \"median\": {:.1}, \"mean\": {:.1}, \"samples\": {}, \
+                 \"iters_per_sample\": {}{}}}{}\n",
+                r.group,
+                r.bench,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                r.iters_per_sample,
+                r.throughput_elems
+                    .map(|e| format!(", \"throughput_elements\": {e}"))
+                    .unwrap_or_default(),
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let path = self.baseline_path();
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("[criterion] could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[criterion] baseline written to {}", path.display());
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_baseline();
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream-compat: the harness derives sampling from wall-clock
+    /// calibration, so the requested sample count is advisory.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for the group's records.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            eprintln!("[criterion] {}/{}: smoke-tested", self.name, id);
+            return self;
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return self;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        eprintln!(
+            "[criterion] {}/{}: median {:.0} ns/iter (min {:.0}, mean {:.0}, {} samples x {} iters)",
+            self.name, id, median, min, mean, sorted.len(), bencher.iters_per_sample
+        );
+        self.criterion.records.push(BenchRecord {
+            group: self.name.clone(),
+            bench: id,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            throughput_elems: match self.throughput {
+                Some(Throughput::Elements(e)) => Some(e),
+                _ => None,
+            },
+        });
+        self
+    }
+
+    /// Ends the group (records were pushed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Number of timed samples per benchmark.
+const N_SAMPLES: usize = 12;
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` (the common case).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate to ~TARGET_SAMPLE_NS per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NS / once).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..N_SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` over inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NS / once).clamp(1, 100_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..N_SAMPLES {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+/// Declares a bench entry function running each target against one
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion =
+                $crate::Criterion::for_target(env!("CARGO_CRATE_NAME"));
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,631 @@
+//! Offline, in-tree subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the slice of proptest its test suites use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range / tuple / [`Just`] / collection / bool /
+//! [`any`] strategies, a character-class regex string strategy, and
+//! the `prop_assert*` / `prop_assume` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its deterministic
+//!   case number and seed instead of a minimized input.
+//! * **Deterministic by construction** — case `k` of test `t` is
+//!   seeded from `hash(t) ⊕ k`, so failures reproduce exactly.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-case random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a case generator.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, xor-folded with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case.
+    Reject(String),
+    /// An assertion failed — the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in upstream terms).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: generates cases until `config.cases` pass,
+/// panicking on the first failure. Rejections (via `prop_assume!`)
+/// consume attempts but not cases, up to a global budget.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let max_attempts = (config.cases as u64).saturating_mul(32).max(1024);
+    let mut passed: u64 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases as u64 {
+        if attempt >= max_attempts {
+            panic!(
+                "property `{name}`: too many rejected cases \
+                 ({passed}/{} passed after {attempt} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::for_case(name, attempt);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case #{attempt}: {msg}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.base.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed (cloned) value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "any value" strategy (a pragmatic stand-in
+/// for upstream's `Arbitrary`).
+pub trait ArbitraryValue: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.rng().gen::<f64>()
+    }
+}
+
+/// Strategy for [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (upstream `any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Size specification for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Inclusive minimum length.
+    pub min: usize,
+    /// Exclusive maximum length.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy (upstream `prop::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` strategy (upstream `prop::collection::btree_set`).
+    /// If the element universe is too small to reach the drawn size,
+    /// the set saturates at what is reachable (bounded retries).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.rng().gen_range(self.size.min..self.size.max);
+            let mut set = std::collections::BTreeSet::new();
+            let mut tries = 0usize;
+            while set.len() < target && tries < 32 + 16 * target {
+                set.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Fair-coin strategy (upstream `prop::bool::ANY`).
+    pub struct AnyBool;
+
+    /// A fair coin.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    /// Weighted-coin strategy.
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p` (upstream `prop::bool::weighted`).
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p));
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng().gen_bool(self.0)
+        }
+    }
+}
+
+/// Regex-subset string strategy: `"[class]{min,max}"` patterns, the
+/// only form this workspace's tests use. The class supports literal
+/// characters, `a-z` ranges, `\t \r \n \\` escapes, and a trailing
+/// literal `-`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (only \"[class]{{min,max}}\" is vendored)")
+        });
+        let len = rng.rng().gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.rng().gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let quant = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let (min, max) = (quant.0.trim().parse().ok()?, quant.1.trim().parse().ok()?);
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            alphabet.push(match class[i + 1] {
+                't' => '\t',
+                'r' => '\r',
+                'n' => '\n',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (c as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() || min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+// Re-exported so `prop::collection::btree_set` values type-check
+// without the test importing BTreeSet through us.
+#[doc(hidden)]
+pub type _BTreeSet<T> = BTreeSet<T>;
+
+/// Assert inside a property; failure fails the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// The property-test entry point; mirrors upstream's `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, run_cases, ArbitraryValue, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespaced strategy modules (upstream `prelude::prop`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (alphabet, min, max) = super::parse_class_pattern("[0-9 \t\r\n.,;x-]{0,256}").unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 256);
+        for c in ['0', '9', ' ', '\t', '\r', '\n', '.', ',', ';', 'x', '-'] {
+            assert!(alphabet.contains(&c), "missing {c:?}");
+        }
+        assert!(!alphabet.contains(&'a'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            n in 2usize..=7,
+            (a, b) in (0.0f64..0.25, 0.0f64..0.25),
+            flag in prop::bool::weighted(0.5),
+        ) {
+            prop_assert!((2..=7).contains(&n));
+            prop_assert!((0.0..0.25).contains(&a) && (0.0..0.25).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(1u64..50, 3..9),
+            s in prop::collection::btree_set(0u32..10, 1..6),
+            bytes in prop::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..50).contains(&x)));
+            prop_assert!(!s.is_empty() && s.len() < 6);
+            prop_assert!(bytes.len() < 16);
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0u32..10, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn string_strategy_obeys_class(text in "[0-9 \t\r\n.,;x-]{0,64}") {
+            prop_assert!(text.len() <= 64);
+            prop_assert!(text.chars().all(|c| {
+                c.is_ascii_digit() || " \t\r\n.,;x-".contains(c)
+            }));
+        }
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        let mut seen = 0u32;
+        run_cases(ProptestConfig::with_cases(8), "assume_demo", |rng| {
+            let v: u64 = Strategy::generate(&(0u64..100), rng);
+            prop_assume!(v.is_multiple_of(2));
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        run_cases(ProptestConfig::with_cases(4), "fail_demo", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

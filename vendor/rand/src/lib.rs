@@ -1,0 +1,405 @@
+//! Offline, in-tree subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of `rand` it actually uses:
+//! [`RngCore`] / [`Rng`] / [`SeedableRng`], a deterministic
+//! [`rngs::StdRng`] (SplitMix64-seeded xoshiro256++), and the
+//! [`seq::SliceRandom`] shuffle/choose helpers. The API shapes match
+//! `rand` 0.8 closely enough that swapping the real crate back in is
+//! a one-line `Cargo.toml` change.
+//!
+//! Determinism contract: for a fixed seed, every generator here
+//! produces the same stream on every platform and thread count. All
+//! repo-level reproducibility guarantees (recipe mask runs, sampler
+//! shards, property tests) build on that.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              u64 => next_u64, usize => next_u64, u128 => next_u64,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` via widening multiply (negligible
+/// bias for the spans this workspace uses).
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::standard_sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::standard_sample(rng) * (hi - lo)
+    }
+}
+
+/// User-facing generator methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (matching
+    /// the construction rand 0.8 documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator:
+    /// xoshiro256++ (Blackman & Vigna). Not the ChaCha12 generator
+    /// of upstream `rand`, but a high-quality, portable, seedable
+    /// stream — everything the estimators and tests rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro is a fixpoint at the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers (`shuffle`, `choose`).
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle (the rand 0.8 end-first
+        /// walk).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    pub mod index {
+        //! Index sampling without replacement.
+
+        use crate::{Rng, RngCore};
+
+        /// Samples `amount` distinct indices from `0..length`,
+        /// uniformly, in selection order (upstream returns an
+        /// `IndexVec`; a plain `Vec<usize>` iterates the same way).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> Vec<usize> {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            // Floyd's algorithm: O(amount) memory, no bias.
+            let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = rng.gen_range(0..=j);
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            chosen
+        }
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+
+        let opts = [1u8, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[*opts.choose(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
