@@ -80,8 +80,7 @@ pub fn suppression_plan(profile: &OutdegreeProfile, tolerance: f64) -> Result<Su
     order.sort_by(|&a, &b| {
         profile
             .crack_probability(b)
-            .partial_cmp(&profile.crack_probability(a))
-            .expect("probabilities are finite")
+            .total_cmp(&profile.crack_probability(a))
             .then(a.cmp(&b))
     });
 

@@ -70,6 +70,7 @@ impl AnonymizationMapping {
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
         let mut forward: Vec<u32> = (0..n as u32).collect();
         forward.shuffle(rng);
+        // andi::allow(lib-unwrap) — shuffling 0..n is a permutation by construction
         Self::from_permutation(forward).expect("a shuffle is a permutation")
     }
 

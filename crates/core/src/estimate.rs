@@ -14,7 +14,7 @@
 //! which one answered, so callers (and reports) know whether a
 //! number is exact or heuristic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use andi_graph::convex::{expected_cracks_convex, ConvexError};
@@ -124,11 +124,20 @@ pub fn best_expected_cracks(graph: &GroupedBigraph, state_budget: usize) -> Resu
 /// memory on long α/τ sweeps over many distinct beliefs).
 const PROFILE_CACHE_CAP: usize = 256;
 
-type ProfileCache = Mutex<HashMap<(u64, bool), Arc<OutdegreeProfile>>>;
+type ProfileCache = Mutex<BTreeMap<(u64, bool), Arc<OutdegreeProfile>>>;
 
 fn profile_cache() -> &'static ProfileCache {
     static CACHE: OnceLock<ProfileCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Locks the cache, tolerating poisoning: the guarded map is a pure
+/// memo, so a panic mid-update can at worst leave a stale or missing
+/// entry — never an inconsistent one worth propagating a panic for.
+fn lock_cache() -> std::sync::MutexGuard<'static, BTreeMap<(u64, bool), Arc<OutdegreeProfile>>> {
+    profile_cache()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Structural fingerprint of a grouped mapping space: FNV-1a over the
@@ -180,7 +189,7 @@ fn graph_fingerprint(graph: &GroupedBigraph) -> u64 {
 /// error (never cached).
 pub fn cached_profile(graph: &GroupedBigraph, propagated: bool) -> Result<Arc<OutdegreeProfile>> {
     let key = (graph_fingerprint(graph), propagated);
-    if let Some(hit) = profile_cache().lock().unwrap().get(&key) {
+    if let Some(hit) = lock_cache().get(&key) {
         return Ok(Arc::clone(hit));
     }
     let profile = Arc::new(if propagated {
@@ -188,7 +197,7 @@ pub fn cached_profile(graph: &GroupedBigraph, propagated: bool) -> Result<Arc<Ou
     } else {
         OutdegreeProfile::plain(graph)
     });
-    let mut cache = profile_cache().lock().unwrap();
+    let mut cache = lock_cache();
     if cache.len() >= PROFILE_CACHE_CAP {
         cache.clear();
     }

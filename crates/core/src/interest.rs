@@ -218,7 +218,7 @@ pub fn assess_interest_risk(
     } else {
         OutdegreeProfile::plain(&graph)
     };
-    let interval_oe = profile.oestimate_masked(&mask);
+    let interval_oe = profile.oestimate_masked(&mask)?;
 
     // α search against the interest budget. The compliancy curve
     // machinery works on crack probabilities; zero out uninteresting
@@ -230,7 +230,7 @@ pub fn assess_interest_risk(
     } else {
         // Restrict the profile to interesting items (uninteresting
         // crack probabilities do not count toward the budget).
-        let restricted = profile.restrict(&mask);
+        let restricted = profile.restrict(&mask)?;
         let alphas: Vec<f64> = (0..=100).map(|k| k as f64 / 100.0).collect();
         let curve = compliancy_curve(&restricted, &alphas, config.n_mask_runs, config.seed);
         let best = curve

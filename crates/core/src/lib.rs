@@ -39,6 +39,8 @@
 //! assert!(assessment.discloses());
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// The deterministic work-stealing execution layer (re-exported from
 /// [`andi_graph::par`]): [`parallel::map_indexed`] with its
 /// bit-identity contract, [`parallel::chunk_ranges`], and the
@@ -70,7 +72,7 @@ pub use advisor::{suppression_plan, SuppressionPlan};
 pub use anonymize::AnonymizationMapping;
 pub use belief::BeliefFunction;
 pub use chain::ChainSpec;
-pub use error::{Error, Result};
+pub use error::{AndiError, Error, Result};
 pub use estimate::{best_expected_cracks, cached_profile, CrackEstimate, EstimateMethod};
 pub use formulas::{
     ignorant_expected_cracks, ignorant_expected_cracks_of_subset, point_valued_expected_cracks,

@@ -158,15 +158,21 @@ impl OutdegreeProfile {
     /// compliant items — consistency guarantees the others are never
     /// cracked.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the mask length disagrees with the domain.
-    pub fn oestimate_masked(&self, compliant: &[bool]) -> f64 {
-        assert_eq!(compliant.len(), self.n_items(), "mask size mismatch");
-        (0..self.n_items())
+    /// Returns [`Error::DomainMismatch`] when the mask length
+    /// disagrees with the domain.
+    pub fn oestimate_masked(&self, compliant: &[bool]) -> Result<f64> {
+        if compliant.len() != self.n_items() {
+            return Err(Error::DomainMismatch {
+                expected: self.n_items(),
+                got: compliant.len(),
+            });
+        }
+        Ok((0..self.n_items())
             .filter(|&x| compliant[x])
             .map(|x| self.crack_probability(x))
-            .sum()
+            .sum())
     }
 
     /// A copy of the profile with the crack probability of every
@@ -174,19 +180,25 @@ impl OutdegreeProfile {
     /// by items-of-interest analyses so downstream sums and curves
     /// only count the kept items.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the mask length disagrees with the domain.
-    pub fn restrict(&self, keep: &[bool]) -> OutdegreeProfile {
-        assert_eq!(keep.len(), self.n_items(), "mask size mismatch");
-        OutdegreeProfile {
+    /// Returns [`Error::DomainMismatch`] when the mask length
+    /// disagrees with the domain.
+    pub fn restrict(&self, keep: &[bool]) -> Result<OutdegreeProfile> {
+        if keep.len() != self.n_items() {
+            return Err(Error::DomainMismatch {
+                expected: self.n_items(),
+                got: keep.len(),
+            });
+        }
+        Ok(OutdegreeProfile {
             status: self
                 .status
                 .iter()
                 .zip(keep.iter())
                 .map(|(&s, &k)| if k { s } else { ItemStatus::NoCandidates })
                 .collect(),
-        }
+        })
     }
 
     /// Items propagation identified with certainty.
@@ -301,12 +313,22 @@ mod tests {
         let graph = b.build_graph(&BIGMART_SUPPORTS, M);
         let profile = OutdegreeProfile::plain(&graph);
         let full = profile.oestimate();
-        let half = profile.oestimate_masked(&[true, false, true, false, true, false]);
+        let half = profile
+            .oestimate_masked(&[true, false, true, false, true, false])
+            .unwrap();
         assert!(half < full);
-        let none = profile.oestimate_masked(&[false; 6]);
+        let none = profile.oestimate_masked(&[false; 6]).unwrap();
         assert_eq!(none, 0.0);
-        let all = profile.oestimate_masked(&[true; 6]);
+        let all = profile.oestimate_masked(&[true; 6]).unwrap();
         assert!((all - full).abs() < 1e-12);
+        // Wrong-size masks are a domain error, not a panic.
+        assert!(matches!(
+            profile.oestimate_masked(&[true; 3]),
+            Err(Error::DomainMismatch {
+                expected: 6,
+                got: 3
+            })
+        ));
     }
 
     #[test]
@@ -330,8 +352,12 @@ mod tests {
         let b = BeliefFunction::widened(&freqs(), 0.05).unwrap();
         let graph = b.build_graph(&BIGMART_SUPPORTS, M);
         let profile = OutdegreeProfile::plain(&graph);
-        let big = profile.oestimate_masked(&[true, true, true, true, false, false]);
-        let small = profile.oestimate_masked(&[true, true, false, false, false, false]);
+        let big = profile
+            .oestimate_masked(&[true, true, true, true, false, false])
+            .unwrap();
+        let small = profile
+            .oestimate_masked(&[true, true, false, false, false, false])
+            .unwrap();
         assert!(small <= big + 1e-12, "Lemma 10 violated: {small} > {big}");
     }
 
@@ -374,7 +400,9 @@ mod tests {
         let b = BeliefFunction::widened(&freqs(), 0.05).unwrap();
         let graph = b.build_graph(&BIGMART_SUPPORTS, M);
         let profile = OutdegreeProfile::plain(&graph);
-        let restricted = profile.restrict(&[true, false, true, false, false, false]);
+        let restricted = profile
+            .restrict(&[true, false, true, false, false, false])
+            .unwrap();
         assert_eq!(restricted.crack_probability(1), 0.0);
         assert_eq!(restricted.status(3), ItemStatus::NoCandidates);
         assert_eq!(
@@ -383,7 +411,9 @@ mod tests {
         );
         assert!(
             (restricted.oestimate()
-                - profile.oestimate_masked(&[true, false, true, false, false, false]))
+                - profile
+                    .oestimate_masked(&[true, false, true, false, false, false])
+                    .unwrap())
             .abs()
                 < 1e-12
         );
@@ -394,11 +424,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mask size mismatch")]
     fn restrict_checks_mask_length() {
         let b = BeliefFunction::ignorant(6);
         let graph = b.build_graph(&BIGMART_SUPPORTS, M);
-        let _ = OutdegreeProfile::plain(&graph).restrict(&[true; 3]);
+        assert!(matches!(
+            OutdegreeProfile::plain(&graph).restrict(&[true; 3]),
+            Err(Error::DomainMismatch {
+                expected: 6,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! item-level machinery — O-estimates, propagation, exact permanents,
 //! the sampler — applies to the *pruned* graph.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use andi_data::{Database, ItemId};
 use andi_graph::DenseBigraph;
@@ -121,14 +121,14 @@ impl PowersetBelief {
 /// not perturb co-occurrence).
 struct SupportOracle<'a> {
     db: &'a Database,
-    cache: HashMap<Vec<u32>, u64>,
+    cache: BTreeMap<Vec<u32>, u64>,
 }
 
 impl<'a> SupportOracle<'a> {
     fn new(db: &'a Database) -> Self {
         SupportOracle {
             db,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 

@@ -7,9 +7,12 @@
 //! estimate is the mean of the run means and the spread is their
 //! standard deviation ("the differences between the O-estimates and
 //! the average simulated estimates are well within one standard
-//! deviation"). Runs are independent, so they execute on scoped
-//! threads.
+//! deviation"). Runs are independent and execute through the
+//! deterministic parallel layer ([`andi_graph::par`]): run `r` is
+//! seeded with `seed + r` regardless of which worker executes it, so
+//! results are identical at any thread count.
 
+use andi_graph::par;
 use andi_graph::sampler::{sample_cracks, SamplerConfig};
 use andi_graph::{GroupedBigraph, Matching};
 use rand::rngs::StdRng;
@@ -202,48 +205,25 @@ pub fn simulate_expected_cracks(
     };
     let decracked = decrack(graph, &base_seed);
 
-    let mut run_means = vec![0.0f64; config.n_runs];
-    let mut run_vars = vec![0.0f64; config.n_runs];
+    let runs = par::map_indexed(par::available_threads(), config.n_runs, |r| {
+        let start = run_start(config.seed_mode, r, &base_seed, &decracked);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(r as u64));
+        sample_cracks(graph, start, &config.sampler, &mut rng)
+            .map(|samples| {
+                let sd = samples.std_dev();
+                (samples.mean(), sd * sd, samples.counts.len())
+            })
+            .map_err(|e| e.to_string())
+    });
+
+    let mut run_means = Vec::with_capacity(config.n_runs);
+    let mut run_vars = Vec::with_capacity(config.n_runs);
     let mut run_len = 0usize;
-    {
-        let run_len = &mut run_len;
-        let result: std::result::Result<(), String> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(config.n_runs);
-            for (r, (mean_slot, var_slot)) in
-                run_means.iter_mut().zip(run_vars.iter_mut()).enumerate()
-            {
-                let start = match config.seed_mode {
-                    SeedMode::Identity => &base_seed,
-                    SeedMode::Decracked => &decracked,
-                    SeedMode::Alternate => {
-                        if r % 2 == 0 {
-                            &base_seed
-                        } else {
-                            &decracked
-                        }
-                    }
-                };
-                let sampler = config.sampler;
-                let seed = config.seed.wrapping_add(r as u64);
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    sample_cracks(graph, start, &sampler, &mut rng)
-                        .map(|samples| {
-                            *mean_slot = samples.mean();
-                            let sd = samples.std_dev();
-                            *var_slot = sd * sd;
-                            samples.counts.len()
-                        })
-                        .map_err(|e| e.to_string())
-                }));
-            }
-            for h in handles {
-                *run_len = h.join().expect("sampler threads do not panic")?;
-            }
-            Ok(())
-        })
-        .expect("crossbeam scope does not panic");
-        result.map_err(Error::Sampler)?;
+    for run in runs {
+        let (mean, var, len) = run.map_err(Error::Sampler)?;
+        run_means.push(mean);
+        run_vars.push(var);
+        run_len = len;
     }
 
     Ok(SimulationResult {
@@ -252,6 +232,26 @@ pub fn simulate_expected_cracks(
         run_len,
         matched: base_seed.size(),
     })
+}
+
+/// The walk start for run `r` under a seed mode.
+fn run_start<'a>(
+    mode: SeedMode,
+    r: usize,
+    base_seed: &'a Matching,
+    decracked: &'a Matching,
+) -> &'a Matching {
+    match mode {
+        SeedMode::Identity => base_seed,
+        SeedMode::Decracked => decracked,
+        SeedMode::Alternate => {
+            if r.is_multiple_of(2) {
+                base_seed
+            } else {
+                decracked
+            }
+        }
+    }
 }
 
 /// Like [`simulate_expected_cracks`], but returns the pooled crack
@@ -280,41 +280,19 @@ pub fn simulate_crack_samples(
     };
     let decracked = decrack(graph, &base_seed);
 
-    let mut per_run: Vec<Vec<usize>> = vec![Vec::new(); config.n_runs];
-    let result: std::result::Result<(), String> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.n_runs);
-        for (r, slot) in per_run.iter_mut().enumerate() {
-            let start = match config.seed_mode {
-                SeedMode::Identity => &base_seed,
-                SeedMode::Decracked => &decracked,
-                SeedMode::Alternate => {
-                    if r % 2 == 0 {
-                        &base_seed
-                    } else {
-                        &decracked
-                    }
-                }
-            };
-            let sampler = config.sampler;
-            let seed = config.seed.wrapping_add(r as u64);
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                sample_cracks(graph, start, &sampler, &mut rng)
-                    .map(|samples| *slot = samples.counts)
-                    .map_err(|e| e.to_string())
-            }));
-        }
-        for h in handles {
-            h.join().expect("sampler threads do not panic")?;
-        }
-        Ok(())
-    })
-    .expect("crossbeam scope does not panic");
-    result.map_err(Error::Sampler)?;
+    let runs = par::map_indexed(par::available_threads(), config.n_runs, |r| {
+        let start = run_start(config.seed_mode, r, &base_seed, &decracked);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(r as u64));
+        sample_cracks(graph, start, &config.sampler, &mut rng)
+            .map(|samples| samples.counts)
+            .map_err(|e| e.to_string())
+    });
 
-    Ok(andi_graph::CrackSamples {
-        counts: per_run.into_iter().flatten().collect(),
-    })
+    let mut counts = Vec::new();
+    for run in runs {
+        counts.extend(run.map_err(Error::Sampler)?);
+    }
+    Ok(andi_graph::CrackSamples { counts })
 }
 
 /// Rewires a consistent matching to reduce its crack count without

@@ -144,6 +144,7 @@ impl Database {
             .iter()
             .map(|t| {
                 Transaction::new(t.iter().map(|x| ItemId(relabel[x.index()])))
+                    // andi::allow(lib-unwrap) — relabeling is a bijection, so a non-empty transaction stays non-empty
                     .expect("relabeled transaction stays non-empty")
             })
             .collect();
@@ -209,6 +210,7 @@ pub fn bigmart() -> Database {
         vec![4, 5],
     ];
     let refs: Vec<&[u32]> = raw.iter().map(|v| v.as_slice()).collect();
+    // andi::allow(lib-unwrap) — validates a fixed compile-time literal; covered by the bigmart tests
     Database::from_raw(6, &refs).expect("bigmart is well-formed")
 }
 

@@ -22,6 +22,8 @@
 //! assert_eq!(groups.n_groups(), 3); // frequencies 0.3, 0.4, 0.5
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod database;
 pub mod fimi;

@@ -46,6 +46,7 @@ pub fn sample_count<R: Rng + ?Sized>(db: &Database, k: usize, rng: &mut R) -> Da
         .into_iter()
         .map(|i| db.transactions()[i].clone())
         .collect();
+    // andi::allow(lib-unwrap) — transactions come from a validated Database and k >= 1 keeps at least one
     Database::new(db.n_items(), transactions).expect("subsample of a valid database is valid")
 }
 
@@ -70,6 +71,7 @@ pub fn sample_bernoulli<R: Rng + ?Sized>(db: &Database, p: f64, rng: &mut R) -> 
             .collect();
         if !transactions.is_empty() {
             return Database::new(db.n_items(), transactions)
+                // andi::allow(lib-unwrap) — transactions come from a validated Database and the guard ensures non-emptiness
                 .expect("subsample of a valid database is valid");
         }
     }

@@ -166,7 +166,7 @@ impl GapStats {
             return None;
         }
         let mut sorted = gaps.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let median = if n % 2 == 1 {
             sorted[n / 2]

@@ -83,8 +83,9 @@ pub fn materialize<R: Rng + ?Sized>(
         })
         .collect();
 
-    let database =
-        Database::new(n_items, transactions).expect("materialized database is well-formed");
+    let database = Database::new(n_items, transactions)
+        // andi::allow(lib-unwrap) — the generator pads every transaction to non-empty and ids stay < n_items
+        .expect("materialized database is well-formed");
     MaterializedDatabase {
         database,
         filled_transactions: filled,

@@ -101,7 +101,7 @@ impl AnalogSpec {
         let group_supports = self.group_supports(rng);
         debug_assert_eq!(group_supports.len(), g);
         debug_assert!(group_supports.windows(2).all(|w| w[0] < w[1]));
-        debug_assert!(*group_supports.last().unwrap() <= m);
+        debug_assert!(group_supports.last().is_some_and(|&s| s <= m));
 
         let sizes = self.group_sizes(rng);
         debug_assert_eq!(sizes.len(), g);
@@ -135,7 +135,7 @@ impl AnalogSpec {
 
         let mut raw: Vec<f64> = (0..g - 1).map(|_| lognormal(sigma, rng)).collect();
         if self.gap_shape == GapShape::Ascending {
-            raw.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+            raw.sort_by(f64::total_cmp);
         }
         let total: f64 = raw.iter().sum();
         let mut supports = Vec::with_capacity(g);

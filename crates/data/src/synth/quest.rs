@@ -117,6 +117,7 @@ pub fn generate<R: Rng + ?Sized>(config: &QuestConfig, rng: &mut R) -> Database 
     for _ in 0..config.n_transactions {
         scratch.clear();
         for _ in 0..config.patterns_per_transaction {
+            // andi::allow(lib-unwrap) — the pattern pool is built with at least one pattern above
             let p = patterns.choose(rng).expect("pool is non-empty");
             scratch.extend_from_slice(p);
         }
@@ -126,8 +127,10 @@ pub fn generate<R: Rng + ?Sized>(config: &QuestConfig, rng: &mut R) -> Database 
             }
         }
         transactions
+            // andi::allow(lib-unwrap) — scratch holds at least one non-empty pattern, so the transaction is non-empty
             .push(Transaction::new(scratch.iter().copied()).expect("patterns are non-empty"));
     }
+    // andi::allow(lib-unwrap) — every transaction was built non-empty with ids < n_items
     Database::new(config.n_items, transactions).expect("generated database is well-formed")
 }
 

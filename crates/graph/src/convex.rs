@@ -31,7 +31,7 @@
 //! `max_states` budget makes the trade-off explicit and callers fall
 //! back to sampling beyond it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::grouped::GroupedBigraph;
 
@@ -77,6 +77,9 @@ struct ConvexSpec {
     /// `arrivals[g][d]` = original items with candidate range
     /// `[g, g + d]`.
     arrivals: Vec<Vec<usize>>,
+    /// Candidate group range `[lo, hi]` per original item, validated
+    /// non-empty at construction.
+    ranges: Vec<(usize, usize)>,
     /// Maximum range width `W` (in groups).
     window: usize,
 }
@@ -85,20 +88,24 @@ impl ConvexSpec {
     fn from_graph(graph: &GroupedBigraph) -> Result<Self, ConvexError> {
         let k = graph.n_groups();
         let mut window = 1usize;
+        let mut ranges = Vec::with_capacity(graph.n());
         for x in 0..graph.n() {
             match graph.right_range_of(x) {
-                Some((lo, hi)) => window = window.max(hi - lo + 1),
+                Some((lo, hi)) => {
+                    window = window.max(hi - lo + 1);
+                    ranges.push((lo, hi));
+                }
                 None => return Err(ConvexError::UnmatchableItem { item: x }),
             }
         }
         let mut arrivals = vec![vec![0usize; window]; k];
-        for x in 0..graph.n() {
-            let (lo, hi) = graph.right_range_of(x).expect("checked above");
+        for &(lo, hi) in &ranges {
             arrivals[lo][hi - lo] += 1;
         }
         Ok(ConvexSpec {
             left_counts: graph.group_sizes().to_vec(),
             arrivals,
+            ranges,
             window,
         })
     }
@@ -155,13 +162,16 @@ fn log_permanent(
     let w = spec.window;
     let k = spec.left_counts.len();
     // State: open counts at offsets 1..w-1 (relative to the *next*
-    // group), i.e. a vector of length w-1. Log-weighted.
-    let mut states: HashMap<Vec<usize>, f64> = HashMap::new();
+    // group), i.e. a vector of length w-1. Log-weighted. A BTreeMap
+    // keeps the iteration order (and so the `log_add` accumulation
+    // order feeding shared target states) deterministic — hash order
+    // would perturb floating-point results run to run.
+    let mut states: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
     states.insert(vec![0usize; w - 1], 0.0);
 
     let mut dp = Dp {
         ln,
-        next: HashMap::new(),
+        next: BTreeMap::new(),
         work: 0,
         work_budget: max_states.saturating_mul(16).max(1_000),
         w,
@@ -203,7 +213,7 @@ fn log_permanent(
 /// DP scratch: target map plus the transition-work accounting.
 struct Dp<'a> {
     ln: &'a LnFact,
-    next: HashMap<Vec<usize>, f64>,
+    next: BTreeMap<Vec<usize>, f64>,
     work: usize,
     work_budget: usize,
     w: usize,
@@ -339,9 +349,11 @@ fn crack_marginals(
     let log_total = log_permanent(&spec, &ln, max_states)?.ok_or(ConvexError::NoPerfectMatching)?;
 
     // Group compliant items by (range, own group): identical minors.
-    let mut buckets: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
+    // BTreeMap so minor evaluation order (and any future
+    // accumulation over it) is deterministic.
+    let mut buckets: BTreeMap<(usize, usize, usize), Vec<usize>> = BTreeMap::new();
     for x in 0..graph.n() {
-        let (lo, hi) = graph.right_range_of(x).expect("validated by spec");
+        let (lo, hi) = spec.ranges[x];
         let own = graph.left_group_of(x);
         if own < lo || own > hi {
             continue; // non-compliant: crack edge absent, P = 0
@@ -536,6 +548,46 @@ mod tests {
             "got {}",
             r.expected_cracks
         );
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        // Regression: the DP used to iterate a `HashMap` of states,
+        // so the order of `log_add` accumulations into shared target
+        // states followed hash order — per-instance seeded, i.e.
+        // nondeterministic even within one process. With ordered
+        // state maps, every run must produce the same bits.
+        let supports = [2u64, 2, 5, 5, 8, 8, 8];
+        let f = |s: u64| s as f64 / 10.0;
+        let intervals = vec![
+            (f(2), f(8)),
+            (f(2), f(5)),
+            (f(2), f(5)),
+            (f(5), f(8)),
+            (f(5), f(8)),
+            (f(2), f(8)),
+            (f(5), f(8)),
+        ];
+        let g = graph(&supports, 10, &intervals);
+        let first = expected_cracks_convex(&g, DEFAULT_STATE_BUDGET).unwrap();
+        let first_probs = crack_probabilities_convex(&g, DEFAULT_STATE_BUDGET).unwrap();
+        for run in 0..20 {
+            let r = expected_cracks_convex(&g, DEFAULT_STATE_BUDGET).unwrap();
+            assert_eq!(
+                r.expected_cracks.to_bits(),
+                first.expected_cracks.to_bits(),
+                "run {run}: expected_cracks drifted"
+            );
+            assert_eq!(
+                r.log_matchings.to_bits(),
+                first.log_matchings.to_bits(),
+                "run {run}: log_matchings drifted"
+            );
+            let probs = crack_probabilities_convex(&g, DEFAULT_STATE_BUDGET).unwrap();
+            for (x, (a, b)) in probs.iter().zip(first_probs.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "run {run}: item {x} drifted");
+            }
+        }
     }
 
     #[test]

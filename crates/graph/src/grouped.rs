@@ -88,6 +88,7 @@ impl GroupedBigraph {
         let mut group_members = vec![Vec::new(); k];
         for (i, &s) in supports.iter().enumerate() {
             assert!(s <= n_transactions, "item {i} support {s} exceeds m");
+            // andi::allow(lib-unwrap) — `distinct` was built from these same supports two lines up
             let g = distinct.binary_search(&s).expect("support is in the index");
             group_sizes[g] += 1;
             left_group[i] = g;
@@ -269,6 +270,7 @@ impl GroupedBigraph {
         // Order right items by (hi, lo).
         let mut order: Vec<usize> = (0..n).filter(|&y| self.right_range[y].is_some()).collect();
         order.sort_unstable_by_key(|&y| {
+            // andi::allow(lib-unwrap) — `order` holds only indices filtered to `is_some()` above
             let (lo, hi) = self.right_range[y].expect("filtered to Some");
             (hi, lo)
         });
@@ -284,8 +286,10 @@ impl GroupedBigraph {
         let mut left_partner: Vec<Option<usize>> = vec![None; n];
         let mut right_partner: Vec<Option<usize>> = vec![None; n];
         for y in order {
+            // andi::allow(lib-unwrap) — same filtered `order` as above
             let (lo, hi) = self.right_range[y].expect("filtered to Some");
             if let Some(&g) = nonempty.range(lo..=hi).next() {
+                // andi::allow(lib-unwrap) — `nonempty` contains exactly the groups with a non-empty stack
                 let i = remaining[g].pop().expect("group in nonempty set");
                 if remaining[g].is_empty() {
                     nonempty.remove(&g);

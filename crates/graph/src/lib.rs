@@ -22,6 +22,8 @@
 //!   permanent, sampler and (via `andi-core`) recipe hot paths fan
 //!   out on.
 
+#![forbid(unsafe_code)]
+
 pub mod convex;
 pub mod dense;
 pub mod dot;

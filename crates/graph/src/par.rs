@@ -76,9 +76,11 @@ where
             })
             .collect();
         for h in handles {
+            // andi::allow(lib-unwrap) — join fails only if the worker panicked; re-raising the panic is intended
             tagged.extend(h.join().expect("parallel worker panicked"));
         }
     })
+    // andi::allow(lib-unwrap) — scope errs only if a worker panicked, and every join above already re-raised
     .expect("parallel scope panicked");
     debug_assert_eq!(tagged.len(), n_tasks);
     tagged.sort_unstable_by_key(|&(i, _)| i);

@@ -62,6 +62,7 @@ const PARALLEL_MIN_N: usize = 18;
 /// assert_eq!(permanent(&DenseBigraph::complete(4)), 24);
 /// ```
 pub fn permanent(g: &DenseBigraph) -> u128 {
+    // andi::allow(lib-unwrap) — documented panicking wrapper; overflow-safe callers use try_permanent
     try_permanent(g).expect("permanent overflowed i128; domain too dense for exact Ryser")
 }
 
@@ -94,6 +95,7 @@ pub fn try_permanent(g: &DenseBigraph) -> Option<u128> {
 /// Panics on accumulator overflow (see [`try_permanent_of_rows`]).
 pub fn permanent_of_rows(rows: &[u64], n: usize) -> u128 {
     try_permanent_of_rows(rows, n)
+        // andi::allow(lib-unwrap) — documented panicking wrapper; overflow-safe callers use try_permanent_of_rows
         .expect("permanent overflowed i128; domain too dense for exact Ryser")
 }
 

@@ -108,6 +108,7 @@ pub fn propagate_in_place(graph: &mut DenseBigraph) -> Propagation {
                 if left_settled[i] || left_deg[i] != 1 {
                     continue; // stale entry
                 }
+                // andi::allow(lib-unwrap) — guarded by `left_deg[i] != 1` continue just above
                 let y = graph.unique_neighbor(i).expect("left degree is 1");
                 (i, y)
             }
@@ -117,6 +118,7 @@ pub fn propagate_in_place(graph: &mut DenseBigraph) -> Propagation {
                 }
                 let i = (0..n)
                     .find(|&i| graph.has_edge(i, y))
+                    // andi::allow(lib-unwrap) — guarded by `right_deg[y] != 1` continue just above
                     .expect("right degree is 1");
                 (i, y)
             }

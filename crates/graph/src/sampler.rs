@@ -460,7 +460,9 @@ impl<O: EdgeOracle> Walk<'_, O> {
     /// Swaps the partners of active lefts `i` and `j` if both new
     /// edges are consistent.
     fn try_swap(&mut self, i: usize, j: usize) {
+        // andi::allow(lib-unwrap) — callers draw i, j from `active`, whose members are matched by construction
         let yi = self.partner[i].expect("active items are matched");
+        // andi::allow(lib-unwrap) — same invariant as the line above
         let yj = self.partner[j].expect("active items are matched");
         if self.oracle.has_edge(i, yj) && self.oracle.has_edge(j, yi) {
             self.partner[i] = Some(yj);
@@ -474,6 +476,7 @@ impl<O: EdgeOracle> Walk<'_, O> {
         let k = rng.gen_range(0..self.free_rights.len());
         let r = self.free_rights[k];
         if self.oracle.has_edge(i, r) {
+            // andi::allow(lib-unwrap) — callers draw i from `active`, whose members are matched by construction
             let old = self.partner[i].expect("active items are matched");
             self.partner[i] = Some(r);
             self.free_rights[k] = old;

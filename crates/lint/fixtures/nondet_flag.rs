@@ -1,0 +1,16 @@
+// Negative fixture: MUST produce `nondet-iteration` findings when
+// linted under a library-crate virtual path.
+use std::collections::HashMap;
+
+pub fn accumulate(weights: &HashMap<Vec<usize>, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_state, w) in weights {
+        total += w; // accumulation order follows hash order
+    }
+    total
+}
+
+pub fn keys_in_hash_order() -> Vec<String> {
+    let m: HashMap<String, u32> = HashMap::new();
+    m.keys().cloned().collect()
+}

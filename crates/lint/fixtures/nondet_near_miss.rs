@@ -1,0 +1,39 @@
+// Near-miss fixture: MUST stay clean. Iteration is neutralized by a
+// BTree conversion or a sort, appears only in test code, or the
+// "HashMap" text sits in strings/comments.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn converted(weights: &HashMap<Vec<usize>, f64>) -> f64 {
+    // Ordering restored in the same statement: not a finding.
+    let ordered: BTreeMap<&Vec<usize>, &f64> = weights.iter().collect();
+    ordered.values().map(|w| **w).sum()
+}
+
+pub fn sorted(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect::<Vec<_>>().sorted();
+    keys.sort();
+    keys
+}
+
+pub fn lookups_only(m: &HashMap<String, u32>) -> Option<u32> {
+    // Point lookups don't depend on iteration order.
+    m.get("x").copied()
+}
+
+pub fn mentions() -> &'static str {
+    // A comment saying `for x in some HashMap.iter()` is not code.
+    "for (k, v) in my_hash_map.iter() { HashMap }"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in m.iter() {
+            assert!(k <= v);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// Negative fixture: pragma hygiene. MUST produce one
+// `invalid-pragma` (no reason), one `invalid-pragma` (unknown rule),
+// one `invalid-pragma` (malformed), and one `unused-pragma` — and no
+// `lib-unwrap`: the reasonless pragma still suppresses, but the gate
+// fails on the missing justification.
+
+pub fn no_reason(v: &[u32]) -> u32 {
+    // andi::allow(lib-unwrap)
+    *v.first().unwrap()
+}
+
+// andi::allow(made-up-rule) — this rule does not exist
+pub fn unknown_rule() {}
+
+// andi::allow — forgot the parentheses entirely
+pub fn malformed() {}
+
+// andi::allow(wallclock-in-core) — nothing here touches a clock
+pub fn unused() {}

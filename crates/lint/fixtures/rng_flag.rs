@@ -1,0 +1,13 @@
+// Negative fixture: MUST produce `unseeded-rng` findings when linted
+// under a core/graph virtual path.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn ambient() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn ambient_thread() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,26 @@
+// Near-miss fixture: MUST stay clean under a core/graph virtual
+// path. Caller-supplied seeds keep results reproducible; the words
+// "thread_rng" in a string or comment are not code; tests may use
+// what they like.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn warning() -> &'static str {
+    // We tell users never to call thread_rng() in estimators.
+    "thread_rng() and from_entropy() are banned in core"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        // Even in tests we seed, but OsRng here would be allowed.
+        let _ = seeded(7);
+    }
+}

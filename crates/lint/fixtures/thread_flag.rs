@@ -1,0 +1,11 @@
+// Negative fixture: MUST produce `thread-spawn-outside-par` findings
+// anywhere except crates/graph/src/par.rs.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}
+
+pub fn scoped() {
+    crossbeam::thread::scope(|_s| {}).ok();
+}

@@ -1,0 +1,22 @@
+// Near-miss fixture: MUST stay clean. Going through the
+// deterministic layer, naming a variable `thread_count`, or talking
+// about std::thread in comments/strings is all fine.
+use andi_graph::par;
+
+pub fn fan_out(n: usize) -> Vec<usize> {
+    let thread_count = par::available_threads();
+    par::map_indexed(thread_count, n, |i| i * 2)
+}
+
+pub fn docs() -> &'static str {
+    "raw std::thread::spawn and crossbeam are banned outside par"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

@@ -1,0 +1,14 @@
+// Negative fixture: MUST produce `lib-unwrap` findings when linted
+// under a library-crate virtual path.
+
+pub fn first_item(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parsed(s: &str) -> u32 {
+    s.parse().expect("caller passed a number")
+}
+
+pub fn inverted(r: Result<(), String>) -> String {
+    r.unwrap_err()
+}

@@ -1,0 +1,29 @@
+// Near-miss fixture: MUST stay clean. Safe combinators, test code,
+// strings/comments, and justified pragmas are all fine.
+
+pub fn with_default(v: &[u32]) -> u32 {
+    // unwrap_or is total; the docs may even say "unwrap() the value".
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn lazy_default(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or_else(|| 0)
+}
+
+pub fn message() -> &'static str {
+    "call .unwrap() at your own risk; .expect(\"...\") too"
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // andi::allow(lib-unwrap) — callers are validated non-empty at construction
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Negative fixture: MUST produce `wallclock-in-core` findings
+// anywhere outside crates/bench.
+use std::time::Instant;
+
+pub fn timed<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,18 @@
+// Near-miss fixture: MUST stay clean everywhere. Mentions of wall
+// clocks in comments/strings and test-only timing are fine.
+// An Instant or SystemTime in prose is not a finding.
+
+pub fn describe() -> &'static str {
+    "benchmarks use Instant and SystemTime; library code must not"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,260 @@
+//! Ties the lexer and the rules together: test-span masking, pragma
+//! suppression, pragma hygiene, and the deterministic file walk.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{scan, Token};
+use crate::rules::{is_known_rule, run_rules, Finding};
+
+/// Lints one file's source under its workspace-relative `path`.
+/// Returns the unsuppressed findings, sorted by (line, col, rule).
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let scanned = scan(source);
+    let is_test = test_mask(&scanned.tokens);
+    let mut findings = run_rules(path, &scanned.tokens, &is_test);
+
+    // Pragma suppression: a pragma on the finding's line, or on the
+    // line directly above it, suppresses that rule there.
+    let mut used = vec![false; scanned.pragmas.len()];
+    findings.retain(|f| {
+        let mut suppressed = false;
+        for (pi, p) in scanned.pragmas.iter().enumerate() {
+            if p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line) {
+                used[pi] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    // Pragma hygiene. A pragma must name a known rule and carry a
+    // written reason; a well-formed pragma must suppress something.
+    for (pi, p) in scanned.pragmas.iter().enumerate() {
+        if p.rule.is_empty() || !is_known_rule(&p.rule) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                col: 1,
+                rule: "invalid-pragma",
+                message: if p.rule.is_empty() {
+                    "malformed pragma; expected `// andi::allow(<rule>) — <reason>`".to_string()
+                } else {
+                    format!("pragma names unknown rule `{}`", p.rule)
+                },
+            });
+        } else if p.reason.is_empty() {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                col: 1,
+                rule: "invalid-pragma",
+                message: format!(
+                    "pragma for `{}` has no written justification; add `— <reason>`",
+                    p.rule
+                ),
+            });
+        } else if !used[pi] {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                col: 1,
+                rule: "unused-pragma",
+                message: format!("pragma for `{}` suppresses nothing; remove it", p.rule),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items. The mask is
+/// parallel to `tokens`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = matching_bracket(tokens, i + 1, '[', ']');
+            if is_test_attr(&tokens[i + 2..attr_end]) {
+                let item_end = item_end(tokens, attr_end + 1);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether an attribute body (tokens between `#[` and `]`) marks test
+/// code: `test`, `cfg(test)`, or any `cfg(...)` mentioning `test`.
+fn is_test_attr(body: &[Token]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") && body.len() == 1 => true,
+        Some(t) if t.is_ident("cfg") => body[1..].iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the token closing the bracket opened at `open` (which
+/// must hold `lo`). Falls back to the last token on imbalance.
+fn matching_bracket(tokens: &[Token], open: usize, lo: char, hi: char) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(lo) {
+            depth += 1;
+        } else if t.is_punct(hi) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// End (exclusive) of the item starting at `start`: the token after
+/// its first top-level `{…}` block, or after a `;` at depth 0
+/// (whichever comes first). Nested attributes are skipped.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = matching_bracket(tokens, i + 1, '[', ']') + 1;
+    }
+    let mut k = i;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct(';') {
+            return k + 1;
+        }
+        if t.is_punct('{') {
+            return matching_bracket(tokens, k, '{', '}') + 1;
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Lints a file on disk under an explicit virtual path.
+pub fn lint_file(virtual_path: &str, real_path: &Path) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(real_path)?;
+    Ok(lint_source(virtual_path, &source))
+}
+
+/// Walks the workspace at `root` and lints every in-scope `.rs` file:
+/// `src/` of the root package and of each `crates/*` member, skipping
+/// `vendor/`, `target/`, and per-crate `fixtures/`, `tests/`,
+/// `benches/`, `examples/`. The walk order (and so the finding
+/// order) is lexicographic, independent of filesystem order.
+pub fn check_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files: BTreeSet<PathBuf> = BTreeSet::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let member = entry?.path();
+            if member.is_dir() {
+                collect_rs(&member.join("src"), &mut files)?;
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, file)?);
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir` (if it exists).
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as human-readable lines.
+pub fn format_human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+    }
+    s.push_str(&format!(
+        "andi-lint: {} finding{}\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    ));
+    s
+}
+
+/// Renders findings as a JSON array (stable field order; no escapes
+/// beyond the JSON-mandatory set).
+pub fn format_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}

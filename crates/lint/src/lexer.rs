@@ -1,0 +1,536 @@
+//! A comment/string/char-literal-aware Rust token scanner.
+//!
+//! The build environment is offline, so this crate cannot depend on
+//! `syn` or `proc-macro2`; instead it carries a small hand-rolled
+//! lexer that understands exactly as much Rust surface syntax as the
+//! rule engine needs to avoid false positives:
+//!
+//! * line comments (`//`) and *nested* block comments (`/* /* */ */`),
+//! * cooked strings with escapes, raw strings `r#"…"#` with any
+//!   number of hashes, byte strings `b"…"` / `br#"…"#`,
+//! * char literals (including escapes) vs. lifetimes (`'a`, `'static`),
+//! * identifiers, numbers (including float/exponent forms and the
+//!   `0..n` range ambiguity), and single-character punctuation.
+//!
+//! Comments are not tokens, but suppression pragmas inside them
+//! (`// andi::allow(<rule>) — <reason>`) are collected as [`Pragma`]s
+//! so the engine can honor them.
+//!
+//! The scanner never panics on malformed input: an unterminated
+//! string or comment simply extends to the end of the file. Token
+//! spans are byte offsets into the source and round-trip exactly
+//! (`&source[t.start..t.start + t.len] == t.text`), which the
+//! property suite pins.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integers, floats, any suffix).
+    Number,
+    /// String literal (cooked, raw, or byte; delimiters included).
+    Str,
+    /// Char or byte-char literal (delimiters included).
+    Char,
+    /// Lifetime (`'a`), including the leading quote.
+    Lifetime,
+    /// Any other single character of punctuation.
+    Punct,
+}
+
+/// One lexed token with its exact source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte length of the token.
+    pub len: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based byte column of the first character.
+    pub col: u32,
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A suppression pragma found in a comment:
+/// `andi::allow(<rule>) — <reason>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pragma {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The rule name between the parentheses (untrimmed of interior
+    /// whitespace beyond leading/trailing).
+    pub rule: String,
+    /// The justification text after the closing parenthesis, with
+    /// leading separator characters (`—`, `-`, `:`) stripped.
+    pub reason: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Scan {
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All suppression pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Scans `source` into tokens and pragmas. Infallible: malformed
+/// constructs degrade to over-long tokens, never panics.
+pub fn scan(source: &str) -> Scan {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Scan,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Scan::default(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, byte_ahead: usize) -> Option<char> {
+        self.src.get(self.pos + byte_ahead..)?.chars().next()
+    }
+
+    /// Consumes one char, maintaining line/col accounting.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += c.len_utf8() as u32;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, start: usize, line: u32, col: u32, kind: TokenKind) {
+        self.out.tokens.push(Token {
+            start,
+            len: self.pos - start,
+            line,
+            col,
+            kind,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+
+    fn run(mut self) -> Scan {
+        while let Some(c) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.cooked_string();
+                    self.emit(start, line, col, TokenKind::Str);
+                }
+                '\'' => self.char_or_lifetime(start, line, col),
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.emit(start, line, col, TokenKind::Number);
+                }
+                c if is_ident_start(c) => {
+                    self.ident();
+                    let text = &self.src[start..self.pos];
+                    // Raw/byte string prefixes: r"..", r#".."#, b"..",
+                    // br#".."#, and the byte char b'x'.
+                    match (text, self.peek()) {
+                        ("r" | "b" | "br" | "rb", Some('"')) | ("r" | "br" | "rb", Some('#')) => {
+                            if self.raw_or_cooked_suffix(text) {
+                                self.emit(start, line, col, TokenKind::Str);
+                            } else {
+                                self.emit(start, line, col, TokenKind::Ident);
+                            }
+                        }
+                        ("b", Some('\'')) => {
+                            self.bump(); // the quote
+                            self.char_literal_body();
+                            self.emit(start, line, col, TokenKind::Char);
+                        }
+                        _ => self.emit(start, line, col, TokenKind::Ident),
+                    }
+                }
+                _ => {
+                    self.bump();
+                    self.emit(start, line, col, TokenKind::Punct);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// After an `r`/`b`/`br` identifier, consumes the string body if
+    /// one actually follows. Returns false when the `#`s are not
+    /// followed by a quote (then the prefix stays an identifier and
+    /// the `#`s will lex as punctuation).
+    fn raw_or_cooked_suffix(&mut self, prefix: &str) -> bool {
+        let raw = prefix.contains('r');
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek_at(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek_at(hashes) != Some('"') {
+                return false;
+            }
+            for _ in 0..=hashes {
+                self.bump(); // hashes plus the opening quote
+            }
+            self.raw_string_body(hashes);
+        } else {
+            self.bump(); // the opening quote
+            self.cooked_string_body();
+        }
+        true
+    }
+
+    /// Consumes a cooked string starting at the opening quote.
+    fn cooked_string(&mut self) {
+        self.bump();
+        self.cooked_string_body();
+    }
+
+    /// Consumes a cooked string body up to and including the closing
+    /// quote (or end of file).
+    fn cooked_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body terminated by `"` plus `hashes`
+    /// hash characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` (char) from `'a` (lifetime) and consumes
+    /// whichever it is.
+    fn char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // the quote
+        let first = self.peek();
+        let second = self.peek_at(first.map_or(0, |c| c.len_utf8()));
+        let is_lifetime = first.is_some_and(is_ident_start) && second != Some('\'');
+        if is_lifetime {
+            self.ident();
+            self.emit(start, line, col, TokenKind::Lifetime);
+        } else {
+            self.char_literal_body();
+            self.emit(start, line, col, TokenKind::Char);
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing
+    /// quote, bounded so an unterminated quote cannot swallow the
+    /// file.
+    fn char_literal_body(&mut self) {
+        // Longest legal form is '\u{10FFFF}': 10 interior chars.
+        for _ in 0..12 {
+            match self.bump() {
+                None | Some('\'') | Some('\n') => return,
+                Some('\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+                // Exponent sign: 1e-3, 2.5E+7.
+                if matches!(c, 'e' | 'E') && matches!(self.peek(), Some('+') | Some('-')) {
+                    self.bump();
+                }
+            } else if c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.collect_pragma(&text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump(); // the `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                None => break,
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek_at(1) == Some('/') => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.collect_pragma(&text, line);
+    }
+
+    /// Extracts an `andi::allow(rule) — reason` pragma from comment
+    /// text, if present. The pragma must be the first thing in the
+    /// comment (after the `//`/`/*` markers and optional doc `!`/`*`)
+    /// — prose that merely *mentions* the grammar is not a pragma.
+    fn collect_pragma(&mut self, comment: &str, line: u32) {
+        let body = comment
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        if !body.starts_with("andi::allow") {
+            return;
+        }
+        let Some(rest) = body.strip_prefix("andi::allow(") else {
+            // `andi::allow` without `(…)`: record as malformed so the
+            // engine flags it rather than silently ignoring it.
+            self.out.pragmas.push(Pragma {
+                line,
+                rule: String::new(),
+                reason: String::new(),
+            });
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            // Malformed pragma: record it with an empty rule so the
+            // engine can flag it rather than silently ignore it.
+            self.out.pragmas.push(Pragma {
+                line,
+                rule: String::new(),
+                reason: String::new(),
+            });
+            return;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', '*'])
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        self.out.pragmas.push(Pragma { line, rule, reason });
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_their_contents() {
+        let src = "let a = 1; // HashMap unwrap()\n/* Instant /* nested SystemTime */ */ let b;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src =
+            r##"let s = "unwrap() HashMap"; let r = r#"Instant "quoted" body"# ; let done = 1;"##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "unwrap" || i == "HashMap" || i == "Instant"));
+        assert!(ids.iter().any(|i| i == "done"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let x = b\"unwrap\"; let c = b'x'; let y = br#\"HashMap\"#;";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "HashMap"));
+        let kinds: Vec<TokenKind> = scan(src).tokens.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { 'x'; x }";
+        let toks = scan(src);
+        let lifetimes: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\''", "'\\n'", "'\\u{10FFFF}'", "'\\\\'"] {
+            let toks = scan(&format!("let c = {src};"));
+            assert!(
+                toks.tokens
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Char && t.text == src),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let toks = scan("for i in 0..n { let f = 1.5e-3; }");
+        let nums: Vec<&str> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"open", "'", "b'"] {
+            let toks = scan(src);
+            for t in toks.tokens {
+                assert_eq!(&src[t.start..t.start + t.len], t.text);
+            }
+        }
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let src = "// andi::allow(lib-unwrap) — join only fails on panic\nlet x = a.unwrap();";
+        let s = scan(src);
+        assert_eq!(s.pragmas.len(), 1);
+        assert_eq!(s.pragmas[0].rule, "lib-unwrap");
+        assert_eq!(s.pragmas[0].reason, "join only fails on panic");
+        assert_eq!(s.pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn pragma_reason_separators() {
+        for sep in ["—", "-", ":", ""] {
+            let src = format!("// andi::allow(r) {sep} why\nx();");
+            let s = scan(&src);
+            assert_eq!(s.pragmas[0].reason, "why", "separator {sep:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_pragma_is_recorded_empty() {
+        let s = scan("// andi::allow(lib-unwrap with no close\nx();");
+        assert_eq!(s.pragmas.len(), 1);
+        assert!(s.pragmas[0].rule.is_empty());
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let src = "fn main() { let v: Vec<u8> = b\"ok\".to_vec(); /* c */ }";
+        let s = scan(src);
+        let mut prev_end = 0usize;
+        for t in &s.tokens {
+            assert!(t.start >= prev_end, "overlap at {}", t.start);
+            assert_eq!(&src[t.start..t.start + t.len], t.text);
+            prev_end = t.start + t.len;
+        }
+    }
+}

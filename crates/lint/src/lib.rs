@@ -1,0 +1,33 @@
+//! `andi-lint` — repo-native static analysis for the `andi`
+//! workspace.
+//!
+//! The workspace's headline guarantee (PR 1) is that every risk
+//! number is bit-identical across runs and thread counts. That
+//! guarantee is easy to erode one `HashMap` iteration or one
+//! `unwrap()` at a time, so this crate enforces it mechanically:
+//! a comment/string/char-literal-aware token scanner ([`lexer`]),
+//! a rule catalogue over the token stream ([`rules`]), and an
+//! engine with per-line suppression pragmas ([`engine`]).
+//!
+//! Run it with `cargo run -p andi-lint -- check`; CI runs it with
+//! `--format json` and fails the build on any unsuppressed finding.
+//! Suppressions are spelled
+//!
+//! ```text
+//! // andi::allow(lib-unwrap) — mutex poisoning is unreachable: workers never panic
+//! ```
+//!
+//! on the offending line or the line above it, and MUST carry a
+//! written justification; the engine itself flags empty reasons
+//! (`invalid-pragma`) and pragmas that suppress nothing
+//! (`unused-pragma`).
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_tree, format_human, format_json, lint_file, lint_source};
+pub use lexer::{scan, Pragma, Scan, Token, TokenKind};
+pub use rules::{Finding, RuleInfo, RULES};

@@ -1,0 +1,105 @@
+//! CLI for `andi-lint`.
+//!
+//! ```text
+//! andi-lint check [--root DIR] [--format human|json]
+//! andi-lint check --file PATH --as VIRTUAL [--format human|json]
+//! andi-lint rules
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use andi_lint::{check_tree, format_human, format_json, lint_file, RULES};
+
+const USAGE: &str = "usage: andi-lint check [--root DIR] [--file PATH --as VIRTUAL] \
+                     [--format human|json] | andi-lint rules";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for r in RULES {
+                println!("{:<26} {:<40} {}", r.name, r.scope, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "human".to_string();
+    let mut file: Option<PathBuf> = None;
+    let mut virt: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{name} needs a value\n{USAGE}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--root" => match take("--root") {
+                Some(v) => root = PathBuf::from(v),
+                None => return ExitCode::from(2),
+            },
+            "--format" => match take("--format") {
+                Some(v) if v == "human" || v == "json" => format = v,
+                _ => {
+                    eprintln!("--format must be human or json");
+                    return ExitCode::from(2);
+                }
+            },
+            "--file" => match take("--file") {
+                Some(v) => file = Some(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
+            "--as" => match take("--as") {
+                Some(v) => virt = Some(v),
+                None => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match (&file, &virt) {
+        (Some(path), Some(v)) => lint_file(v, path),
+        (Some(_), None) => {
+            eprintln!("--file needs --as VIRTUAL to scope the rules\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        _ => check_tree(&root),
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("andi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", format_json(&findings)),
+        _ => print!("{}", format_human(&findings)),
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

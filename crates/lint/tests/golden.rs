@@ -1,0 +1,214 @@
+//! Golden tests: every rule has a fixture that must flag and a
+//! near-miss that must not, plus pragma-hygiene and whole-tree
+//! checks, and exit-code tests against the compiled binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use andi_lint::{lint_file, lint_source, Finding};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Lints a fixture file under a virtual workspace path.
+fn lint_fixture(fixture: &str, virtual_path: &str) -> Vec<Finding> {
+    lint_file(virtual_path, &fixture_dir().join(fixture)).expect("fixture exists")
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn nondet_iteration_flags_and_near_miss() {
+    let bad = lint_fixture("nondet_flag.rs", "crates/core/src/nondet_flag.rs");
+    let rules = rules_of(&bad);
+    assert!(
+        rules.iter().filter(|r| **r == "nondet-iteration").count() >= 2,
+        "for-loop and .keys() sites must both flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture("nondet_near_miss.rs", "crates/core/src/nondet_near_miss.rs");
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+
+    // Out of scope: the same code in the binary crate root is not a
+    // library determinism concern for this rule.
+    let out_of_scope = lint_fixture("nondet_flag.rs", "src/nondet_flag.rs");
+    assert!(rules_of(&out_of_scope)
+        .iter()
+        .all(|r| *r != "nondet-iteration"));
+}
+
+#[test]
+fn lib_unwrap_flags_and_near_miss() {
+    let bad = lint_fixture("unwrap_flag.rs", "crates/graph/src/unwrap_flag.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "lib-unwrap").count(),
+        3,
+        "unwrap, expect and unwrap_err must flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture(
+        "unwrap_near_miss.rs",
+        "crates/graph/src/unwrap_near_miss.rs",
+    );
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+}
+
+#[test]
+fn wallclock_flags_and_near_miss() {
+    let bad = lint_fixture("wallclock_flag.rs", "crates/core/src/wallclock_flag.rs");
+    assert!(rules_of(&bad).contains(&"wallclock-in-core"), "{bad:?}");
+
+    // The identical file under crates/bench is allowed.
+    let bench = lint_fixture("wallclock_flag.rs", "crates/bench/src/wallclock_flag.rs");
+    assert!(bench.is_empty(), "bench may time, got {bench:?}");
+
+    let ok = lint_fixture(
+        "wallclock_near_miss.rs",
+        "crates/core/src/wallclock_near_miss.rs",
+    );
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+}
+
+#[test]
+fn unseeded_rng_flags_and_near_miss() {
+    let bad = lint_fixture("rng_flag.rs", "crates/core/src/rng_flag.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unseeded-rng").count(),
+        2,
+        "from_entropy and thread_rng must flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture("rng_near_miss.rs", "crates/graph/src/rng_near_miss.rs");
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+
+    // The rule is scoped to core/graph: the data crate's generators
+    // take RNGs from callers anyway, but the rule must not fire
+    // there.
+    let out_of_scope = lint_fixture("rng_flag.rs", "crates/data/src/rng_flag.rs");
+    assert!(rules_of(&out_of_scope).iter().all(|r| *r != "unseeded-rng"));
+}
+
+#[test]
+fn thread_spawn_flags_and_near_miss() {
+    let bad = lint_fixture("thread_flag.rs", "crates/core/src/thread_flag.rs");
+    let rules = rules_of(&bad);
+    assert!(
+        rules
+            .iter()
+            .filter(|r| **r == "thread-spawn-outside-par")
+            .count()
+            >= 2,
+        "std::thread::spawn and crossbeam must both flag, got {bad:?}"
+    );
+
+    // The same file IS the parallel layer: allowed.
+    let par = lint_fixture("thread_flag.rs", "crates/graph/src/par.rs");
+    assert!(par.is_empty(), "par.rs may spawn, got {par:?}");
+
+    let ok = lint_fixture("thread_near_miss.rs", "crates/core/src/thread_near_miss.rs");
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+}
+
+#[test]
+fn pragma_hygiene_is_enforced() {
+    let findings = lint_fixture("pragma_hygiene.rs", "crates/core/src/pragma_hygiene.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "invalid-pragma").count(),
+        3,
+        "reasonless + unknown-rule + malformed, got {findings:?}"
+    );
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unused-pragma").count(),
+        1,
+        "{findings:?}"
+    );
+    assert!(
+        rules.iter().all(|r| *r != "lib-unwrap"),
+        "the reasonless pragma still suppresses the unwrap, got {findings:?}"
+    );
+}
+
+#[test]
+fn suppression_requires_matching_rule_and_line() {
+    let src = "fn f(v: &[u32]) -> u32 {\n\
+               // andi::allow(wallclock-in-core) — wrong rule name\n\
+               *v.first().unwrap()\n\
+               }\n";
+    let findings = lint_source("crates/core/src/demo.rs", src);
+    let rules = rules_of(&findings);
+    assert!(rules.contains(&"lib-unwrap"), "{findings:?}");
+    assert!(rules.contains(&"unused-pragma"), "{findings:?}");
+}
+
+#[test]
+fn findings_are_sorted_and_carry_positions() {
+    let bad = lint_fixture("unwrap_flag.rs", "crates/core/src/unwrap_flag.rs");
+    assert!(bad.windows(2).all(|w| w[0].line <= w[1].line));
+    for f in &bad {
+        assert!(f.line >= 1 && f.col >= 1);
+        assert_eq!(f.file, "crates/core/src/unwrap_flag.rs");
+    }
+}
+
+/// The merged tree must be clean — the merge-gate property the CI
+/// job relies on.
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let findings = andi_lint::check_tree(&root).expect("tree walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        andi_lint::format_human(&findings)
+    );
+}
+
+/// Exit codes of the compiled binary: 0 on clean input, 1 on a
+/// committed negative fixture, 2 on usage errors.
+#[test]
+fn binary_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_andi-lint");
+    let fixture = fixture_dir().join("unwrap_flag.rs");
+
+    let dirty = Command::new(bin)
+        .args(["check", "--file"])
+        .arg(&fixture)
+        .args(["--as", "crates/core/src/unwrap_flag.rs", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(dirty.status.code(), Some(1), "findings must exit 1");
+    let json = String::from_utf8(dirty.stdout).expect("json output is utf-8");
+    assert!(json.contains("\"rule\":\"lib-unwrap\""), "{json}");
+    assert!(json.trim_start().starts_with('['), "{json}");
+
+    let clean = Command::new(bin)
+        .args(["check", "--file"])
+        .arg(fixture_dir().join("unwrap_near_miss.rs"))
+        .args(["--as", "crates/core/src/unwrap_near_miss.rs"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(clean.status.code(), Some(0), "clean input must exit 0");
+
+    let usage = Command::new(bin)
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
+
+    let rules = Command::new(bin).args(["rules"]).output().expect("runs");
+    assert_eq!(rules.status.code(), Some(0));
+    let listing = String::from_utf8(rules.stdout).expect("utf-8");
+    for rule in ["nondet-iteration", "lib-unwrap", "wallclock-in-core"] {
+        assert!(listing.contains(rule), "missing {rule} in listing");
+    }
+}

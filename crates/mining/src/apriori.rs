@@ -82,6 +82,7 @@ fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
             };
             let candidate = lo
                 .extend_with(hi.items()[k - 1])
+                // andi::allow(lib-unwrap) — lo/hi were ordered by their last items two lines up
                 .expect("hi's last item exceeds lo's");
             if all_subsets_frequent(&candidate, &freq_index) {
                 out.push(candidate);
@@ -95,7 +96,7 @@ fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
 
 /// Downward-closure prune: every `(k-1)`-subset of `candidate` must
 /// be frequent.
-fn all_subsets_frequent(candidate: &Itemset, frequent: &HashSet<&Itemset>) -> bool {
+fn all_subsets_frequent(candidate: &Itemset, freq_index: &HashSet<&Itemset>) -> bool {
     let items = candidate.items();
     (0..items.len()).all(|skip| {
         let sub = Itemset::from_sorted_unique(
@@ -106,7 +107,7 @@ fn all_subsets_frequent(candidate: &Itemset, frequent: &HashSet<&Itemset>) -> bo
                 .map(|(_, &x)| x)
                 .collect(),
         );
-        frequent.contains(&sub)
+        freq_index.contains(&sub)
     })
 }
 

@@ -8,7 +8,7 @@
 //! which is exactly what the paper's data-owner does with mining
 //! outputs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::itemset::{Itemset, MiningResult};
 
@@ -32,8 +32,9 @@ use crate::itemset::{Itemset, MiningResult};
 /// assert!(closed.len() < all.len());
 /// ```
 pub fn closed_itemsets(result: &MiningResult) -> MiningResult {
-    // Index supersets by length for the +1 lookup.
-    let mut by_len: HashMap<usize, Vec<(&Itemset, u64)>> = HashMap::new();
+    // Index supersets by length for the +1 lookup. BTreeMap keeps
+    // any future iteration over the index deterministic.
+    let mut by_len: BTreeMap<usize, Vec<(&Itemset, u64)>> = BTreeMap::new();
     for (s, c) in result.iter() {
         by_len.entry(s.len()).or_default().push((s, c));
     }
@@ -52,7 +53,7 @@ pub fn closed_itemsets(result: &MiningResult) -> MiningResult {
 
 /// Extracts the maximal frequent itemsets.
 pub fn maximal_itemsets(result: &MiningResult) -> MiningResult {
-    let mut by_len: HashMap<usize, Vec<&Itemset>> = HashMap::new();
+    let mut by_len: BTreeMap<usize, Vec<&Itemset>> = BTreeMap::new();
     for (s, _) in result.iter() {
         by_len.entry(s.len()).or_default().push(s);
     }

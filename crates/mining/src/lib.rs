@@ -19,6 +19,8 @@
 //! assert_eq!(a, eclat(&db, 4));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod apriori;
 pub mod condense;
 pub mod eclat;

@@ -107,8 +107,7 @@ pub fn generate_rules(
     }
     rules.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .expect("confidences are finite")
+            .total_cmp(&a.confidence)
             .then_with(|| b.support.cmp(&a.support))
             .then_with(|| a.antecedent.cmp(&b.antecedent))
             .then_with(|| a.consequent.cmp(&b.consequent))

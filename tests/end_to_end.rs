@@ -158,7 +158,7 @@ fn sampled_belief_plugs_into_profile_machinery() {
         .build_graph(&db.supports(), db.n_transactions() as u64);
     let profile = OutdegreeProfile::plain(&graph);
     let mask = sb.belief.compliance_mask(&db.frequencies());
-    assert!((profile.oestimate_masked(&mask) - profile.oestimate()).abs() < 1e-12);
+    assert!((profile.oestimate_masked(&mask).unwrap() - profile.oestimate()).abs() < 1e-12);
 }
 
 /// Anonymization's protective value degrades gracefully: a hacker
@@ -187,7 +187,9 @@ fn knowledge_ladder_is_ordered() {
     let sb = sampled_belief(&db, 0.3, &SimilarityConfig::default(), &mut rng).unwrap();
     let graph = sb.belief.build_graph(&supports, m);
     let mask = sb.belief.compliance_mask(&freqs);
-    let oe_sampled = OutdegreeProfile::plain(&graph).oestimate_masked(&mask);
+    let oe_sampled = OutdegreeProfile::plain(&graph)
+        .oestimate_masked(&mask)
+        .unwrap();
 
     assert!(
         oe_ignorant <= oe_sampled + 1e-9,

@@ -87,7 +87,7 @@ proptest! {
         let mut prev = 0.0;
         for &x in &order {
             mask[x] = true;
-            let oe = profile.oestimate_masked(&mask);
+            let oe = profile.oestimate_masked(&mask).unwrap();
             prop_assert!(oe + 1e-12 >= prev, "masked OE must grow with the compliant set");
             prev = oe;
         }

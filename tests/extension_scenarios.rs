@@ -65,7 +65,7 @@ fn suppression_plan_verifies_end_to_end() {
     for &x in &plan.suppress {
         keep[x] = false;
     }
-    let masked = profile.oestimate_masked(&keep);
+    let masked = profile.oestimate_masked(&keep).unwrap();
     assert!(
         (masked - plan.residual_oestimate).abs() < 1e-12,
         "plan bookkeeping must match the masked estimate"
