@@ -1,0 +1,76 @@
+//! L-time: `andi-lint` whole-tree analysis cost.
+//!
+//! The linter is a CI merge gate, so its wall-clock budget matters:
+//! it must stay cheap enough to run on every push. This bench splits
+//! the two-layer pipeline into its phases — lex + item-parse, call
+//! graph construction, and the full workspace lint (token rules,
+//! semantic rules, pragma hygiene, sort) — over the real workspace
+//! tree, so a regression in any one layer is visible in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::Path;
+
+use andi_lint::{build, lint_workspace, parse, scan, tree_files, SourceFile};
+
+/// Loads every lintable file of the real workspace (the same walk
+/// `cargo run -p andi-lint -- check` performs).
+fn workspace_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root");
+    tree_files(root)
+        .expect("walk workspace tree")
+        .into_iter()
+        .map(|(rel, abs)| {
+            let text = std::fs::read_to_string(&abs)
+                .unwrap_or_else(|e| panic!("read {}: {e}", abs.display()));
+            (rel, text)
+        })
+        .collect()
+}
+
+fn bench_scan_and_parse(c: &mut Criterion) {
+    let sources = workspace_sources();
+    let mut group = c.benchmark_group("lint_scan_parse");
+    group.sample_size(20);
+    group.bench_function("workspace", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for (_, text) in &sources {
+                let s = scan(black_box(text));
+                tokens += parse(&s.tokens).n_tokens;
+            }
+            tokens
+        })
+    });
+    group.finish();
+}
+
+fn bench_call_graph(c: &mut Criterion) {
+    let sources = workspace_sources();
+    let files: Vec<SourceFile> = sources.iter().map(|(p, t)| SourceFile::new(p, t)).collect();
+    let mut group = c.benchmark_group("lint_call_graph");
+    group.sample_size(20);
+    group.bench_function("workspace", |b| b.iter(|| build(black_box(&files))));
+    group.finish();
+}
+
+fn bench_full_lint(c: &mut Criterion) {
+    let sources = workspace_sources();
+    let mut group = c.benchmark_group("lint_workspace");
+    group.sample_size(20);
+    group.bench_function("workspace", |b| {
+        b.iter(|| lint_workspace(black_box(&sources)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_and_parse,
+    bench_call_graph,
+    bench_full_lint
+);
+criterion_main!(benches);

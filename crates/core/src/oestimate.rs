@@ -448,4 +448,133 @@ mod tests {
             c.oestimate()
         );
     }
+
+    /// Property tests generalizing the Lemma 8 / Lemma 10 monotonicity
+    /// checks above from hand-picked masks to random non-compliant
+    /// subsets, plus the `DomainMismatch` path of `oestimate_masked`.
+    mod masked_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        const M: u64 = 200;
+
+        /// Strategy: a support profile over `m = 200` together with a
+        /// uniform compliance mask and a thinning mask, all of one
+        /// random length.
+        fn profile_mask_and_drop() -> impl Strategy<Value = (Vec<u64>, Vec<bool>, Vec<bool>)> {
+            (3usize..20).prop_flat_map(|n| {
+                (
+                    prop::collection::vec(1u64..M, n),
+                    prop::collection::vec(prop::bool::ANY, n),
+                    prop::collection::vec(prop::bool::weighted(0.4), n),
+                )
+            })
+        }
+
+        fn widened_profile(supports: &[u64], width: f64) -> OutdegreeProfile {
+            let f: Vec<f64> = supports.iter().map(|&s| s as f64 / M as f64).collect();
+            let b = BeliefFunction::widened(&f, width).unwrap();
+            OutdegreeProfile::plain(&b.build_graph(supports, M))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Lemma 10 over random subsets: shrinking the compliant
+            /// set can only lower the masked O-estimate, and the
+            /// all-true mask recovers the unmasked estimate.
+            #[test]
+            fn lemma_10_holds_for_random_subsets(
+                (supports, mask, drop) in profile_mask_and_drop(),
+                width_pct in 0u32..30,
+            ) {
+                let profile = widened_profile(&supports, width_pct as f64 / 100.0);
+                let submask: Vec<bool> = mask
+                    .iter()
+                    .zip(drop.iter())
+                    .map(|(&m, &d)| m && !d)
+                    .collect();
+                let big = profile.oestimate_masked(&mask).unwrap();
+                let small = profile.oestimate_masked(&submask).unwrap();
+                prop_assert!(
+                    small <= big + 1e-12,
+                    "Lemma 10 violated: OE({submask:?}) = {small} > OE({mask:?}) = {big}"
+                );
+                let full = profile.oestimate_masked(&vec![true; supports.len()]).unwrap();
+                prop_assert!((full - profile.oestimate()).abs() < 1e-12);
+            }
+
+            /// Lemma 8 under masking: a refined belief (narrower
+            /// intervals) never lowers the O-estimate, whatever the
+            /// compliant subset.
+            #[test]
+            fn lemma_8_holds_under_random_masks(
+                (supports, mask, _) in profile_mask_and_drop(),
+                w_lo_pct in 0u32..15,
+                w_delta_pct in 1u32..20,
+            ) {
+                let narrow = widened_profile(&supports, w_lo_pct as f64 / 100.0);
+                let wide =
+                    widened_profile(&supports, (w_lo_pct + w_delta_pct) as f64 / 100.0);
+                let oe_narrow = narrow.oestimate_masked(&mask).unwrap();
+                let oe_wide = wide.oestimate_masked(&mask).unwrap();
+                prop_assert!(
+                    oe_narrow >= oe_wide - 1e-12,
+                    "Lemma 8 violated under mask {mask:?}: {oe_narrow} < {oe_wide}"
+                );
+            }
+
+            /// The masked estimator is additive over a partition of
+            /// the domain and agrees with `restrict`.
+            #[test]
+            fn masked_oe_partitions_and_matches_restrict(
+                (supports, mask, _) in profile_mask_and_drop(),
+                width_pct in 0u32..30,
+            ) {
+                let profile = widened_profile(&supports, width_pct as f64 / 100.0);
+                let complement: Vec<bool> = mask.iter().map(|&m| !m).collect();
+                let kept = profile.oestimate_masked(&mask).unwrap();
+                let dropped = profile.oestimate_masked(&complement).unwrap();
+                prop_assert!(
+                    (kept + dropped - profile.oestimate()).abs() < 1e-9,
+                    "masked OE not additive: {kept} + {dropped} != {}",
+                    profile.oestimate()
+                );
+                let restricted = profile.restrict(&mask).unwrap().oestimate();
+                prop_assert!((restricted - kept).abs() < 1e-12);
+            }
+
+            /// Every wrong-length mask is a `DomainMismatch` carrying
+            /// both lengths — never a panic, never a silent truncation.
+            #[test]
+            fn wrong_length_masks_are_domain_errors(
+                (supports, _, _) in profile_mask_and_drop(),
+                bad_len in 0usize..40,
+                width_pct in 0u32..30,
+            ) {
+                prop_assume!(bad_len != supports.len());
+                let profile = widened_profile(&supports, width_pct as f64 / 100.0);
+                let n = supports.len();
+                match profile.oestimate_masked(&vec![true; bad_len]) {
+                    Err(Error::DomainMismatch { expected, got }) => {
+                        prop_assert_eq!(expected, n);
+                        prop_assert_eq!(got, bad_len);
+                    }
+                    other => {
+                        prop_assert!(false, "expected DomainMismatch, got {other:?}");
+                    }
+                }
+                match profile.restrict(&vec![false; bad_len]) {
+                    Err(Error::DomainMismatch { expected, got }) => {
+                        prop_assert_eq!(expected, n);
+                        prop_assert_eq!(got, bad_len);
+                    }
+                    other => {
+                        let unexpected = other.map(|p| p.oestimate());
+                        prop_assert!(false, "expected DomainMismatch, got {unexpected:?}");
+                    }
+                }
+            }
+        }
+    }
 }

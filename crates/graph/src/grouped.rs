@@ -88,8 +88,9 @@ impl GroupedBigraph {
         let mut group_members = vec![Vec::new(); k];
         for (i, &s) in supports.iter().enumerate() {
             assert!(s <= n_transactions, "item {i} support {s} exceeds m");
-            // andi::allow(lib-unwrap) — `distinct` was built from these same supports two lines up
-            let g = distinct.binary_search(&s).expect("support is in the index");
+            // `distinct` was built from these same supports, so the
+            // partition point lands exactly on `s`.
+            let g = distinct.partition_point(|&d| d < s);
             group_sizes[g] += 1;
             left_group[i] = g;
             group_members[g].push(i);
@@ -267,13 +268,12 @@ impl GroupedBigraph {
     /// Returns `partner[left] = Some(right)` for matched left items.
     pub fn greedy_matching(&self) -> Matching {
         let n = self.n();
-        // Order right items by (hi, lo).
-        let mut order: Vec<usize> = (0..n).filter(|&y| self.right_range[y].is_some()).collect();
-        order.sort_unstable_by_key(|&y| {
-            // andi::allow(lib-unwrap) — `order` holds only indices filtered to `is_some()` above
-            let (lo, hi) = self.right_range[y].expect("filtered to Some");
-            (hi, lo)
-        });
+        // Order right items by (hi, lo), carrying each range along so
+        // no later lookup has to re-prove the filter.
+        let mut order: Vec<(usize, (usize, usize))> = (0..n)
+            .filter_map(|y| self.right_range[y].map(|r| (y, r)))
+            .collect();
+        order.sort_unstable_by_key(|&(_, (lo, hi))| (hi, lo));
 
         // Per-group stack of still-unassigned left items; a BTreeSet
         // of groups with remaining capacity supports "smallest group
@@ -285,12 +285,12 @@ impl GroupedBigraph {
 
         let mut left_partner: Vec<Option<usize>> = vec![None; n];
         let mut right_partner: Vec<Option<usize>> = vec![None; n];
-        for y in order {
-            // andi::allow(lib-unwrap) — same filtered `order` as above
-            let (lo, hi) = self.right_range[y].expect("filtered to Some");
+        for (y, (lo, hi)) in order {
             if let Some(&g) = nonempty.range(lo..=hi).next() {
-                // andi::allow(lib-unwrap) — `nonempty` contains exactly the groups with a non-empty stack
-                let i = remaining[g].pop().expect("group in nonempty set");
+                let Some(i) = remaining[g].pop() else {
+                    nonempty.remove(&g);
+                    continue;
+                };
                 if remaining[g].is_empty() {
                     nonempty.remove(&g);
                 }

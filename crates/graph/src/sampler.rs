@@ -460,10 +460,11 @@ impl<O: EdgeOracle> Walk<'_, O> {
     /// Swaps the partners of active lefts `i` and `j` if both new
     /// edges are consistent.
     fn try_swap(&mut self, i: usize, j: usize) {
-        // andi::allow(lib-unwrap) — callers draw i, j from `active`, whose members are matched by construction
-        let yi = self.partner[i].expect("active items are matched");
-        // andi::allow(lib-unwrap) — same invariant as the line above
-        let yj = self.partner[j].expect("active items are matched");
+        // Callers draw i, j from `active`, whose members are matched
+        // by construction; an unmatched item is simply not swappable.
+        let (Some(yi), Some(yj)) = (self.partner[i], self.partner[j]) else {
+            return;
+        };
         if self.oracle.has_edge(i, yj) && self.oracle.has_edge(j, yi) {
             self.partner[i] = Some(yj);
             self.partner[j] = Some(yi);
@@ -475,11 +476,13 @@ impl<O: EdgeOracle> Walk<'_, O> {
     fn try_relocate<R: Rng + ?Sized>(&mut self, i: usize, rng: &mut R) {
         let k = rng.gen_range(0..self.free_rights.len());
         let r = self.free_rights[k];
+        // Callers draw i from `active`, whose members are matched by
+        // construction; an unmatched item has nothing to free.
         if self.oracle.has_edge(i, r) {
-            // andi::allow(lib-unwrap) — callers draw i from `active`, whose members are matched by construction
-            let old = self.partner[i].expect("active items are matched");
-            self.partner[i] = Some(r);
-            self.free_rights[k] = old;
+            if let Some(old) = self.partner[i] {
+                self.partner[i] = Some(r);
+                self.free_rights[k] = old;
+            }
         }
     }
 }

@@ -1,0 +1,19 @@
+// Negative fixture: MUST produce `float-merge-order` findings — a
+// float reduction whose partition (and so whose rounding) changes
+// with the thread count, via both `chunk_ranges` and a
+// thread-derived `map_indexed` task count.
+
+pub fn density(xs: &[f64], threads: usize) -> f64 {
+    let ranges = chunk_ranges(xs.len(), threads * 8);
+    let partials = partial_sums(xs, ranges);
+    partials.iter().sum::<f64>()
+}
+
+pub fn online_mean(threads: usize, n: usize) -> f64 {
+    let parts = map_indexed(threads, threads * 2);
+    let mut total = 0.0;
+    for p in parts {
+        total += p;
+    }
+    total / n as f64
+}

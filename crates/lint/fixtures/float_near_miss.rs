@@ -1,0 +1,22 @@
+// Near-miss fixture: MUST stay clean. Exact integer accumulation
+// over a thread-shaped partition is order-independent; float
+// reductions are fine when the partition is fixed or the task count
+// is data-sized (the `par::map_indexed` contract: arg 0 is
+// scheduling only).
+
+pub fn permanent_style(subsets: usize, threads: usize) -> i128 {
+    let ranges = chunk_ranges(subsets, threads * 8);
+    let total = ranges.iter().try_fold(0i128, |acc, r| acc.checked_add(r));
+    total.unwrap_or(0)
+}
+
+pub fn fixed_grid(xs: &[f64]) -> f64 {
+    let ranges = chunk_ranges(xs.len(), 64);
+    let partials = partial_sums(xs, ranges);
+    partials.iter().sum::<f64>()
+}
+
+pub fn indexed_reduction(threads: usize, n: usize) -> f64 {
+    let parts = map_indexed(threads, n);
+    parts.iter().sum::<f64>()
+}

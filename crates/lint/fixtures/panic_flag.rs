@@ -1,0 +1,22 @@
+// Negative fixture: MUST produce `panic-reachability` findings when
+// linted under a library-crate virtual path — one panic behind a
+// private helper (transitive path), one directly in a public fn.
+
+pub fn lookup(table: &[u32], key: usize) -> u32 {
+    locate(table, key)
+}
+
+fn locate(table: &[u32], key: usize) -> u32 {
+    match table.get(key) {
+        Some(v) => *v,
+        None => panic!("key {key} out of range"),
+    }
+}
+
+pub fn classify(code: u8) -> &'static str {
+    match code {
+        0 => "free",
+        1 => "crack",
+        _ => unreachable!("status codes are two-valued"),
+    }
+}

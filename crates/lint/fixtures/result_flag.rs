@@ -1,0 +1,18 @@
+// Negative fixture: MUST produce `result-discard` findings — the
+// Result of a fallible workspace fn dropped via `let _ =` and via a
+// bare statement.
+
+pub fn apply_all(xs: &mut [u32]) {
+    let _ = rescale(xs, 2);
+    rescale(xs, 3);
+}
+
+fn rescale(xs: &mut [u32], k: u32) -> Result<u32, String> {
+    if k == 0 {
+        return Err("zero scale".to_string());
+    }
+    for x in xs.iter_mut() {
+        *x *= k;
+    }
+    Ok(k)
+}

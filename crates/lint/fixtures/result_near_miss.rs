@@ -1,0 +1,20 @@
+// Near-miss fixture: MUST stay clean. Propagating with `?`, binding
+// the Result, or discarding only the Ok value of an
+// already-propagated call are all sanctioned.
+
+pub fn apply_all(xs: &mut [u32]) -> Result<u32, String> {
+    let scale = rescale(xs, 2)?;
+    let _ = rescale(xs, 3)?;
+    let kept = rescale(xs, scale);
+    kept
+}
+
+fn rescale(xs: &mut [u32], k: u32) -> Result<u32, String> {
+    if k == 0 {
+        return Err("zero scale".to_string());
+    }
+    for x in xs.iter_mut() {
+        *x *= k;
+    }
+    Ok(k)
+}

@@ -1,0 +1,19 @@
+// Negative fixture: MUST produce `seed-provenance` findings — an RNG
+// seed fed from ambient machine state (the thread count) instead of
+// the run config, both into a direct seeding sink and through a
+// `*_seed` parameter of a workspace fn.
+
+pub fn entropy_seeded() -> u64 {
+    let lanes = available_parallelism();
+    let noisy = lanes as u64;
+    seed_from_u64(noisy)
+}
+
+pub fn indirect(cfg: u64) -> u64 {
+    let jitter = available_parallelism() as u64;
+    derive_rng(cfg, jitter)
+}
+
+fn derive_rng(base: u64, stream_seed: u64) -> u64 {
+    base ^ stream_seed.rotate_left(17)
+}

@@ -1,0 +1,17 @@
+// Near-miss fixture: MUST stay clean. Seeds derived from the run
+// config (`seed + index` style) are exactly the sanctioned pattern —
+// a `seed` parameter is the caller's responsibility, not a taint
+// source.
+
+pub fn per_worker(seed: u64, index: u64) -> u64 {
+    let derived = seed.wrapping_add(index);
+    seed_from_u64(derived)
+}
+
+pub fn forwarded(cfg: u64) -> u64 {
+    derive_rng(cfg, cfg.rotate_left(17))
+}
+
+fn derive_rng(base: u64, stream_seed: u64) -> u64 {
+    base ^ stream_seed
+}

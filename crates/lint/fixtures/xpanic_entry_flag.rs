@@ -1,0 +1,8 @@
+// Cross-file fixture entry (negative): a public API fn in the same
+// crate reaches the leaf's panic through the workspace call graph.
+// Linted together with xpanic_leaf.rs this MUST flag
+// `panic-reachability` at the leaf site.
+
+pub fn entry(values: &[u64]) -> u64 {
+    leaf_pick(values, 0)
+}

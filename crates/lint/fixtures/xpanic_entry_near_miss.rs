@@ -1,0 +1,9 @@
+// Cross-file fixture entry (near-miss): the same call, but the edge
+// carries a justification pragma — the whole subtree behind it is
+// vouched for. Linted together with xpanic_leaf.rs this MUST stay
+// clean (and the pragma MUST count as used).
+
+pub fn entry(values: &[u64]) -> u64 {
+    // andi::allow(panic-reachability) — entry is only called with non-empty slices, so index 0 exists
+    leaf_pick(values, 0)
+}

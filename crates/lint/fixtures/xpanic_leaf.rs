@@ -1,0 +1,10 @@
+// Cross-file fixture leaf: a crate-private fn with a panic site.
+// Clean on its own (`pub(crate)` is not a public root); the verdict
+// depends on which entry file it is linted together with.
+
+pub(crate) fn leaf_pick(values: &[u64], i: usize) -> u64 {
+    match values.get(i) {
+        Some(v) => *v,
+        None => panic!("index {i} out of range"),
+    }
+}

@@ -1,0 +1,687 @@
+//! A small forward-dataflow (taint) engine over fn bodies, and the
+//! three semantic rules built on it: `seed-provenance`,
+//! `float-merge-order`, and `result-discard`.
+//!
+//! The engine is a single forward pass over a flat statement split of
+//! the body token range: `let` bindings, plain and compound
+//! assignments, and `for`-loop pattern bindings propagate taint from
+//! any tainted identifier (or source call) on their right-hand side.
+//! Locals are function-scoped (shadowing and block scopes are
+//! flattened) and closure/match bodies are split like ordinary
+//! statements — both are over-approximations that err toward
+//! *propagating* taint, which for these rules means erring toward a
+//! finding; the near-miss fixtures pin the idioms that must stay
+//! clean.
+//!
+//! The cross-file leg rides on the call graph: a taint that flows
+//! into a call argument is checked against the *callee's parsed
+//! signature* (`seed`-named parameters), so a nondeterministic seed
+//! cannot hide behind one level of indirection in another crate.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{call_paren, matching_paren, split_args, CallGraph, SourceFile};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{in_lib_crate, Finding};
+
+/// Splits a body token range into flat statement segments at `;`,
+/// `{`, and `}` (any depth except inside parens/brackets, so call
+/// arguments stay whole).
+fn statements(toks: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut seg = lo;
+    let hi = hi.min(toks.len());
+    for (k, t) in toks.iter().enumerate().take(hi).skip(lo) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            if seg < k {
+                out.push((seg, k));
+            }
+            seg = k + 1;
+        }
+    }
+    if seg < hi {
+        out.push((seg, hi));
+    }
+    out
+}
+
+/// Whether any token in `[a, b)` is a tainted identifier or a source
+/// position (per `is_source`).
+fn range_tainted(
+    toks: &[Token],
+    (a, b): (usize, usize),
+    tainted: &BTreeSet<String>,
+    is_source: &dyn Fn(&[Token], usize) -> bool,
+) -> bool {
+    let b = b.min(toks.len());
+    for k in a..b {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident && tainted.contains(&t.text) {
+            return true;
+        }
+        if is_source(toks, k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// One forward pass: seeds `tainted` with `init`, then propagates
+/// through `let`/assignment/`for` statements in source order.
+fn propagate(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    init: &[String],
+    is_source: &dyn Fn(&[Token], usize) -> bool,
+) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = init.iter().cloned().collect();
+    for (a, b) in statements(toks, lo, hi) {
+        let seg = &toks[a..b.min(toks.len())];
+        if seg.is_empty() {
+            continue;
+        }
+        if seg[0].is_ident("let") {
+            // `let [mut] <pat> [: Ty] = expr` — pattern idents before
+            // the top-level `=`, expression after it.
+            let Some(eq) = top_level_eq(seg) else {
+                continue;
+            };
+            if range_tainted(toks, (a + eq + 1, b), &tainted, is_source) {
+                for t in &seg[1..eq] {
+                    if t.kind == TokenKind::Ident && !t.is_ident("mut") {
+                        tainted.insert(t.text.clone());
+                    }
+                }
+            }
+        } else if seg[0].is_ident("for") {
+            // `for <pat> in expr` (body split off at `{`).
+            let Some(pos) = seg.iter().position(|t| t.is_ident("in")) else {
+                continue;
+            };
+            if range_tainted(toks, (a + pos + 1, b), &tainted, is_source) {
+                for t in &seg[1..pos] {
+                    if t.kind == TokenKind::Ident && !t.is_ident("mut") {
+                        tainted.insert(t.text.clone());
+                    }
+                }
+            }
+        } else if seg.len() >= 3 && seg[0].kind == TokenKind::Ident {
+            // `name = expr` / `name op= expr`.
+            let assign_at = if seg[1].is_punct('=') && !seg[2].is_punct('=') {
+                Some(1)
+            } else if seg.len() >= 4
+                && seg[1].kind == TokenKind::Punct
+                && seg[2].is_punct('=')
+                && !seg[1].is_punct('=')
+                && !seg[1].is_punct('!')
+                && !seg[1].is_punct('<')
+                && !seg[1].is_punct('>')
+            {
+                Some(2)
+            } else {
+                None
+            };
+            if let Some(eq) = assign_at {
+                if range_tainted(toks, (a + eq + 1, b), &tainted, is_source) {
+                    tainted.insert(seg[0].text.clone());
+                }
+            }
+        }
+    }
+    tainted
+}
+
+/// Position of the top-level `=` in a statement segment (skipping
+/// `==`, `<=`-style operators and anything bracketed).
+fn top_level_eq(seg: &[Token]) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in seg.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct('=') {
+            let prev_op = k > 0
+                && seg[k - 1].kind == TokenKind::Punct
+                && !seg[k - 1].is_punct(')')
+                && !seg[k - 1].is_punct(']');
+            let next_eq = seg.get(k + 1).is_some_and(|t| t.is_punct('='));
+            if !prev_op && !next_eq {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Entropy / wall-clock sources that must never feed an RNG seed.
+fn is_entropy_source(toks: &[Token], k: usize) -> bool {
+    let t = &toks[k];
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    if t.is_ident("OsRng") {
+        return true;
+    }
+    matches!(
+        t.text.as_str(),
+        "thread_rng"
+            | "from_entropy"
+            | "from_os_rng"
+            | "random"
+            | "now"
+            | "elapsed"
+            | "available_parallelism"
+            | "available_threads"
+    ) && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// RNG-seeding sinks checked within a single file.
+const SEED_SINKS: &[&str] = &["seed_from_u64", "from_seed", "with_seed"];
+
+/// Whether a callee parameter receives an RNG seed, by name.
+fn is_seed_param(name: &str) -> bool {
+    name == "seed" || name == "rng_seed" || name.ends_with("_seed")
+}
+
+/// `seed-provenance`: an RNG seed argument fed — through locals and
+/// resolved calls — from a nondeterministic source instead of
+/// config / `seed + index` derivation. Checked per non-test fn in
+/// the lib crates; the cross-file leg maps tainted call arguments
+/// onto `seed`-named parameters of resolved callees.
+pub fn seed_provenance(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (u, f) in g.fns.iter().enumerate() {
+        let sf = &files[f.file];
+        if f.in_test || !in_lib_crate(&sf.path) {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let toks = &sf.scan.tokens;
+        let tainted = propagate(toks, lo, hi, &[], &is_entropy_source);
+
+        // In-file sinks: `seed_from_u64(expr)` and friends.
+        for k in lo..hi.min(toks.len()) {
+            let t = &toks[k];
+            if t.kind != TokenKind::Ident || !SEED_SINKS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let Some(paren) = call_paren(toks, k, hi) else {
+                continue;
+            };
+            let close = matching_paren(toks, paren, hi);
+            let args = split_args(toks, paren + 1, close);
+            if args
+                .iter()
+                .any(|&r| range_tainted(toks, r, &tainted, &is_entropy_source))
+            {
+                findings.push(Finding {
+                    file: sf.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "seed-provenance",
+                    message: format!(
+                        "`{}` is fed from a nondeterministic source; seeds must derive \
+                         from the run config (e.g. `seed + index`)",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // Cross-file sinks: tainted argument into a `seed`-named
+        // parameter of a resolved workspace fn.
+        for c in g.calls.iter().filter(|c| c.caller == u) {
+            let callee = &g.fns[c.callee];
+            let params: &[crate::parser::Param] =
+                if callee.params.first().is_some_and(|p| p.name == "self") {
+                    &callee.params[1..]
+                } else {
+                    &callee.params
+                };
+            for (i, p) in params.iter().enumerate() {
+                if !is_seed_param(&p.name) {
+                    continue;
+                }
+                let Some(&arg) = c.args.get(i) else { continue };
+                if range_tainted(toks, arg, &tainted, &is_entropy_source) {
+                    findings.push(Finding {
+                        file: sf.path.clone(),
+                        line: c.line,
+                        col: c.col,
+                        rule: "seed-provenance",
+                        message: format!(
+                            "argument `{}` of `{}` is fed from a nondeterministic source; \
+                             seeds must derive from the run config",
+                            p.name,
+                            callee.display(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Thread-count sources for `float-merge-order`.
+fn is_thread_source(toks: &[Token], k: usize) -> bool {
+    let t = &toks[k];
+    t.kind == TokenKind::Ident
+        && matches!(
+            t.text.as_str(),
+            "available_threads" | "available_parallelism"
+        )
+        && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// Parameter names that carry a thread count.
+fn is_thread_param(name: &str) -> bool {
+    matches!(
+        name,
+        "threads" | "n_threads" | "num_threads" | "workers" | "n_workers"
+    )
+}
+
+/// Whether a number token is a float literal.
+fn is_float_literal(t: &Token) -> bool {
+    t.kind == TokenKind::Number
+        && (t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"))
+}
+
+/// `float-merge-order`: an `f64`/`f32` accumulation whose grouping
+/// depends on the thread count. `par::map_indexed` output is
+/// index-ordered and therefore safe to reduce — *unless* the task
+/// count itself is thread-derived; `par::chunk_ranges` output is
+/// thread-shaped whenever either argument is. Exact integer
+/// accumulation over the same shapes is order-independent and stays
+/// clean.
+pub fn float_merge_order(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &g.fns {
+        let sf = &files[f.file];
+        let in_scope = (sf.path.starts_with("crates/core/src/")
+            || sf.path.starts_with("crates/graph/src/"))
+            && sf.path != "crates/graph/src/par.rs";
+        if f.in_test || !in_scope {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let toks = &sf.scan.tokens;
+
+        // Layer 1: thread-count taint (params + ambient queries).
+        let thread_init: Vec<String> = f
+            .params
+            .iter()
+            .filter(|p| is_thread_param(&p.name))
+            .map(|p| p.name.clone())
+            .collect();
+        let threads = propagate(toks, lo, hi, &thread_init, &is_thread_source);
+
+        // Layer 2: chunk taint — values whose *shape* depends on the
+        // thread count.
+        let threads_for_source = threads.clone();
+        let is_chunk_source = move |toks: &[Token], k: usize| -> bool {
+            let t = &toks[k];
+            if t.kind != TokenKind::Ident {
+                return false;
+            }
+            let Some(paren) = call_paren(toks, k, toks.len()) else {
+                return false;
+            };
+            let close = matching_paren(toks, paren, toks.len());
+            let args = split_args(toks, paren + 1, close);
+            let arg_threaded =
+                |r: (usize, usize)| range_tainted(toks, r, &threads_for_source, &is_thread_source);
+            match t.text.as_str() {
+                // Chunk boundaries move with the thread count.
+                "chunk_ranges" => args.iter().any(|&r| arg_threaded(r)),
+                // Output is index-ordered; only a thread-derived task
+                // count makes its shape thread-dependent (arg 0 is
+                // scheduling only, by the par contract).
+                "map_indexed" => args.get(1).is_some_and(|&r| arg_threaded(r)),
+                _ => false,
+            }
+        };
+        let chunked = propagate(toks, lo, hi, &[], &is_chunk_source);
+
+        // Float locals (for `+=` accumulation detection).
+        let mut float_locals: BTreeSet<String> = BTreeSet::new();
+        for (a, b) in statements(toks, lo, hi) {
+            let seg = &toks[a..b.min(toks.len())];
+            if seg.first().is_some_and(|t| t.is_ident("let")) {
+                let floaty = seg
+                    .iter()
+                    .any(|t| is_float_literal(t) || t.is_ident("f64") || t.is_ident("f32"));
+                if floaty {
+                    if let Some(eq) = top_level_eq(seg) {
+                        for t in &seg[1..eq] {
+                            if t.kind == TokenKind::Ident && !t.is_ident("mut") {
+                                float_locals.insert(t.text.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flag float reductions over chunk-tainted values, one
+        // finding per statement.
+        for (a, b) in statements(toks, lo, hi) {
+            let b = b.min(toks.len());
+            if !range_tainted(toks, (a, b), &chunked, &is_chunk_source) {
+                continue;
+            }
+            let seg = &toks[a..b];
+            let mut site: Option<&Token> = None;
+            for (k, t) in seg.iter().enumerate() {
+                // `.sum::<f64>()` / `.product::<f32>()`.
+                if (t.is_ident("sum") || t.is_ident("product"))
+                    && k > 0
+                    && seg[k - 1].is_punct('.')
+                    && seg[k + 1..]
+                        .iter()
+                        .take(5)
+                        .any(|n| n.is_ident("f64") || n.is_ident("f32"))
+                {
+                    site = Some(t);
+                    break;
+                }
+                // `.fold(0.0, …)` / `.try_fold(0f64, …)`.
+                if (t.is_ident("fold") || t.is_ident("try_fold"))
+                    && k > 0
+                    && seg[k - 1].is_punct('.')
+                    && seg.get(k + 2).is_some_and(is_float_literal)
+                {
+                    site = Some(t);
+                    break;
+                }
+                // `acc += chunked_value` with a float accumulator.
+                if t.is_punct('+')
+                    && seg.get(k + 1).is_some_and(|n| n.is_punct('='))
+                    && k > 0
+                    && seg[k - 1].kind == TokenKind::Ident
+                    && float_locals.contains(&seg[k - 1].text)
+                {
+                    site = Some(&seg[k - 1]);
+                    break;
+                }
+            }
+            if let Some(t) = site {
+                findings.push(Finding {
+                    file: sf.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: "float-merge-order",
+                    message: "float accumulation over a thread-shaped partition: the \
+                              grouping (and so the rounding) changes with the thread \
+                              count; accumulate exactly (integers/Kahan) or fix the \
+                              chunk count"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// `result-discard`: the `Result` of a fallible workspace fn is
+/// dropped — `let _ = fallible(…);` or a bare `fallible(…);`
+/// statement — in non-test lib-crate code. `?`-propagated and
+/// consumed results are fine.
+pub fn result_discard(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for c in &g.calls {
+        let caller = &g.fns[c.caller];
+        let sf = &files[caller.file];
+        if caller.in_test || !in_lib_crate(&sf.path) {
+            continue;
+        }
+        let callee = &g.fns[c.callee];
+        if !callee.ret.contains("Result") {
+            continue;
+        }
+        let toks = &sf.scan.tokens;
+        let Some(paren) = call_paren(toks, c.tok, toks.len()) else {
+            continue;
+        };
+        let close = matching_paren(toks, paren, toks.len());
+        // The call's value must reach the end of the statement
+        // unconsumed: next token is `;`.
+        if !toks.get(close + 1).is_some_and(|t| t.is_punct(';')) {
+            continue;
+        }
+        // Walk back over the path / simple receiver chain to the
+        // start of the call expression.
+        let mut s = c.tok;
+        loop {
+            if s >= 2 && toks[s - 1].is_punct('.') && toks[s - 2].kind == TokenKind::Ident {
+                s -= 2;
+            } else if s >= 3
+                && toks[s - 1].is_punct(':')
+                && toks[s - 2].is_punct(':')
+                && toks[s - 3].kind == TokenKind::Ident
+            {
+                s -= 3;
+            } else {
+                break;
+            }
+        }
+        if s == 0 {
+            continue;
+        }
+        let prev = &toks[s - 1];
+        let let_discard = prev.is_punct('=')
+            && s >= 3
+            && toks[s - 2].is_ident("_")
+            && toks[s - 3].is_ident("let");
+        let bare_discard = prev.is_punct(';') || prev.is_punct('{') || prev.is_punct('}');
+        if let_discard || bare_discard {
+            findings.push(Finding {
+                file: sf.path.clone(),
+                line: c.line,
+                col: c.col,
+                rule: "result-discard",
+                message: format!(
+                    "Result of fallible `{}` is discarded; handle it, propagate with \
+                     `?`, or bind and check it",
+                    callee.display(),
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build, SourceFile};
+
+    fn run(
+        files: &[(&str, &str)],
+        rule: fn(&[SourceFile], &CallGraph) -> Vec<Finding>,
+    ) -> Vec<Finding> {
+        let files: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::new(p, s)).collect();
+        let g = build(&files);
+        rule(&files, &g)
+    }
+
+    #[test]
+    fn seed_taint_flows_through_locals() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn bad() {\n  let t = available_threads();\n  let s = t as u64;\n\
+                 let rng = StdRng::seed_from_u64(s);\n}\n",
+            )],
+            seed_provenance,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "seed-provenance");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn config_derived_seed_is_clean() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn good(seed: u64, index: u64) {\n\
+                 let s = seed.wrapping_add(index);\n\
+                 let rng = StdRng::seed_from_u64(s);\n}\n",
+            )],
+            seed_provenance,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seed_taint_crosses_files_via_params() {
+        let f = run(
+            &[
+                (
+                    "crates/core/src/caller.rs",
+                    "pub fn bad() {\n  let t = available_threads() as u64;\n  make_rng(t);\n}\n",
+                ),
+                (
+                    "crates/graph/src/rngs.rs",
+                    "pub fn make_rng(seed: u64) -> u64 { seed }\n",
+                ),
+            ],
+            seed_provenance,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, "crates/core/src/caller.rs");
+        assert!(f[0].message.contains("make_rng"));
+    }
+
+    #[test]
+    fn thread_shaped_float_sum_is_flagged() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn bad(threads: usize, xs: &[f64]) -> f64 {\n\
+                 let ranges = chunk_ranges(xs.len(), threads * 8);\n\
+                 let partials = compute(ranges);\n\
+                 partials.iter().sum::<f64>()\n}\n\
+                 fn compute(r: Vec<u64>) -> Vec<f64> { Vec::new() }\n",
+            )],
+            float_merge_order,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "float-merge-order");
+    }
+
+    #[test]
+    fn integer_fold_over_thread_chunks_is_clean() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn good(threads: usize, xs: &[i64]) -> i64 {\n\
+                 let ranges = chunk_ranges(xs.len(), threads * 8);\n\
+                 let total = ranges.iter().try_fold(0i128, |a, r| Some(a)); 0\n}\n",
+            )],
+            float_merge_order,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fixed_chunk_count_float_sum_is_clean() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn good(xs: &[f64]) -> f64 {\n\
+                 let ranges = chunk_ranges(xs.len(), 64);\n\
+                 let partials = compute(ranges);\n\
+                 partials.iter().sum::<f64>()\n}\n\
+                 fn compute(r: Vec<u64>) -> Vec<f64> { Vec::new() }\n",
+            )],
+            float_merge_order,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn float_accumulator_over_chunked_partials_is_flagged() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn bad(threads: usize, n: usize) -> f64 {\n\
+                 let parts = map_indexed(threads, threads * 4);\n\
+                 let mut total = 0.0;\n\
+                 for p in parts { total += p; }\n  total\n}\n\
+                 fn map_indexed(t: usize, n: usize) -> Vec<f64> { Vec::new() }\n",
+            )],
+            float_merge_order,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn map_indexed_with_fixed_task_count_is_clean() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn good(threads: usize, n: usize) -> f64 {\n\
+                 let parts = map_indexed(threads, n);\n\
+                 parts.iter().sum::<f64>()\n}\n\
+                 fn map_indexed(t: usize, n: usize) -> Vec<f64> { Vec::new() }\n",
+            )],
+            float_merge_order,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn discarded_results_are_flagged() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn bad() {\n  let _ = fallible(1);\n  fallible(2);\n}\n\
+                 fn fallible(x: u32) -> Result<u32, String> { Ok(x) }\n",
+            )],
+            result_discard,
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "result-discard"));
+    }
+
+    #[test]
+    fn propagated_and_bound_results_are_clean() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn good() -> Result<u32, String> {\n\
+                 let v = fallible(1)?;\n  let _ = fallible(2)?;\n\
+                 let kept = fallible(3);\n  kept\n}\n\
+                 fn fallible(x: u32) -> Result<u32, String> { Ok(x) }\n",
+            )],
+            result_discard,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_dataflow_rules() {
+        let f = run(
+            &[(
+                "crates/core/src/a.rs",
+                "#[cfg(test)]\nmod tests {\n  fn t() {\n    let _ = fallible(1);\n\
+                 let s = available_threads() as u64;\n\
+                 let r = StdRng::seed_from_u64(s);\n  }\n}\n\
+                 pub(crate) fn fallible(x: u32) -> Result<u32, String> { Ok(x) }\n\
+                 pub(crate) fn available_threads() -> usize { 1 }\n",
+            )],
+            seed_provenance,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

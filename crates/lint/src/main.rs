@@ -2,20 +2,23 @@
 //!
 //! ```text
 //! andi-lint check [--root DIR] [--format human|json]
-//! andi-lint check --file PATH --as VIRTUAL [--format human|json]
+//! andi-lint check --file PATH --as VIRTUAL [--file … --as …] [--format human|json]
 //! andi-lint rules
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+//! `--file/--as` may repeat: the named files are linted together as
+//! one virtual workspace, which is how the cross-file fixtures
+//! exercise the call graph. Exit codes: 0 = clean, 1 = findings,
+//! 2 = usage/IO error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use andi_lint::{check_tree, format_human, format_json, lint_file, RULES};
+use andi_lint::{check_tree, format_human, format_json, lint_files, RULES};
 
-const USAGE: &str = "usage: andi-lint check [--root DIR] [--file PATH --as VIRTUAL] \
+const USAGE: &str = "usage: andi-lint check [--root DIR] [--file PATH --as VIRTUAL]... \
                      [--format human|json] | andi-lint rules";
 
 fn main() -> ExitCode {
@@ -38,8 +41,8 @@ fn main() -> ExitCode {
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = "human".to_string();
-    let mut file: Option<PathBuf> = None;
-    let mut virt: Option<String> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut virts: Vec<String> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -63,11 +66,11 @@ fn check(args: &[String]) -> ExitCode {
                 }
             },
             "--file" => match take("--file") {
-                Some(v) => file = Some(PathBuf::from(v)),
+                Some(v) => files.push(PathBuf::from(v)),
                 None => return ExitCode::from(2),
             },
             "--as" => match take("--as") {
-                Some(v) => virt = Some(v),
+                Some(v) => virts.push(v),
                 None => return ExitCode::from(2),
             },
             other => {
@@ -77,13 +80,14 @@ fn check(args: &[String]) -> ExitCode {
         }
     }
 
-    let findings = match (&file, &virt) {
-        (Some(path), Some(v)) => lint_file(v, path),
-        (Some(_), None) => {
-            eprintln!("--file needs --as VIRTUAL to scope the rules\n{USAGE}");
-            return ExitCode::from(2);
-        }
-        _ => check_tree(&root),
+    let findings = if files.is_empty() && virts.is_empty() {
+        check_tree(&root)
+    } else if files.len() == virts.len() {
+        let pairs: Vec<(String, PathBuf)> = virts.into_iter().zip(files).collect();
+        lint_files(&pairs)
+    } else {
+        eprintln!("each --file needs a matching --as VIRTUAL to scope the rules\n{USAGE}");
+        return ExitCode::from(2);
     };
     let findings = match findings {
         Ok(f) => f,

@@ -1,8 +1,9 @@
-//! The rule catalogue and the token-stream matchers.
+//! The rule catalogue: token-stream matchers plus the semantic
+//! (call-graph / dataflow) rules.
 //!
 //! Every rule guards one leg of the workspace's headline guarantee —
 //! reproducible risk numbers (see `DESIGN.md` §"Static-analysis
-//! layer"):
+//! layer" and §"Semantic analysis layer"):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -11,14 +12,23 @@
 //! | `wallclock-in-core` | no `Instant`/`SystemTime` outside `crates/bench` |
 //! | `unseeded-rng` | no entropy-seeded RNG construction in core/graph |
 //! | `thread-spawn-outside-par` | all threading goes through `andi_graph::par` |
+//! | `panic-reachability` | no panic transitively reachable from a public API |
+//! | `seed-provenance` | no RNG seed fed from a nondeterministic source |
+//! | `float-merge-order` | no float merge whose grouping tracks the thread count |
+//! | `result-discard` | no `Result` from a fallible core fn silently dropped |
 //!
-//! Matchers are heuristics over the token stream (there is no type
-//! information), tuned to the idioms of this workspace: they must
-//! flag every real violation class we have seen while never flagging
-//! the fixture near-misses. Paths are workspace-relative with `/`
-//! separators; `#[cfg(test)]` / `#[test]` items are exempt from every
-//! rule (test code may panic and may time things).
+//! Token matchers are heuristics over the token stream (there is no
+//! type information), tuned to the idioms of this workspace: they
+//! must flag every real violation class we have seen while never
+//! flagging the fixture near-misses. The semantic rules run on the
+//! parsed item trees and the workspace call graph ([`crate::graph`],
+//! [`crate::dataflow`]). Paths are workspace-relative with `/`
+//! separators; `#[cfg(test)]` / `#[test]` subtrees (real parser
+//! scopes, not heuristics) are exempt from every rule — test code
+//! may panic and may time things.
 
+use crate::dataflow::{float_merge_order, result_discard, seed_provenance};
+use crate::graph::{panic_reachability, CallGraph, SourceFile};
 use crate::lexer::{Token, TokenKind};
 
 /// One reported violation.
@@ -74,6 +84,26 @@ pub const RULES: &[RuleInfo] = &[
         scope: "everything except crates/graph/src/par.rs",
     },
     RuleInfo {
+        name: "panic-reachability",
+        summary: "panic site transitively reachable from a public API fn (shortest path)",
+        scope: "crates/{core,graph,mining,data}/src",
+    },
+    RuleInfo {
+        name: "seed-provenance",
+        summary: "RNG seed fed from a nondeterministic source instead of run config",
+        scope: "crates/{core,graph,mining,data}/src",
+    },
+    RuleInfo {
+        name: "float-merge-order",
+        summary: "float accumulation whose grouping depends on the thread count",
+        scope: "crates/{core,graph}/src except par.rs",
+    },
+    RuleInfo {
+        name: "result-discard",
+        summary: "Result of a fallible workspace fn silently discarded",
+        scope: "crates/{core,graph,mining,data}/src",
+    },
+    RuleInfo {
         name: "invalid-pragma",
         summary: "andi::allow pragma without a rule name or written justification",
         scope: "everywhere",
@@ -97,8 +127,24 @@ const LIB_CRATES: &[&str] = &[
     "crates/data/src/",
 ];
 
-fn in_lib_crate(path: &str) -> bool {
+pub(crate) fn in_lib_crate(path: &str) -> bool {
     LIB_CRATES.iter().any(|p| path.starts_with(p))
+}
+
+/// Runs the semantic rules over the whole workspace: the call-graph
+/// reachability analysis and the three dataflow rules. Returns the
+/// findings plus `(file index, pragma line)` pairs for mid-path
+/// pragmas that cut a reachability edge (the engine marks those
+/// used).
+pub fn run_semantic_rules(
+    files: &[SourceFile],
+    graph: &CallGraph,
+) -> (Vec<Finding>, Vec<(usize, u32)>) {
+    let (mut findings, used) = panic_reachability(files, graph);
+    findings.extend(seed_provenance(files, graph));
+    findings.extend(float_merge_order(files, graph));
+    findings.extend(result_discard(files, graph));
+    (findings, used)
 }
 
 /// Runs every applicable rule over one file's tokens. `is_test[i]`

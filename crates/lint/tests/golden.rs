@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use andi_lint::{lint_file, lint_source, Finding};
+use andi_lint::{lint_file, lint_files, lint_source, Finding};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -14,6 +14,24 @@ fn fixture_dir() -> PathBuf {
 /// Lints a fixture file under a virtual workspace path.
 fn lint_fixture(fixture: &str, virtual_path: &str) -> Vec<Finding> {
     lint_file(virtual_path, &fixture_dir().join(fixture)).expect("fixture exists")
+}
+
+/// Lints several fixture files together as one virtual workspace —
+/// how the cross-file fixtures exercise the call graph.
+fn lint_fixtures(pairs: &[(&str, &str)]) -> Vec<Finding> {
+    let pairs: Vec<(String, PathBuf)> = pairs
+        .iter()
+        .map(|(fixture, virt)| (virt.to_string(), fixture_dir().join(fixture)))
+        .collect();
+    lint_files(&pairs).expect("fixtures exist")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
 }
 
 fn rules_of(findings: &[Finding]) -> Vec<&str> {
@@ -115,6 +133,162 @@ fn thread_spawn_flags_and_near_miss() {
 }
 
 #[test]
+fn panic_reachability_flags_and_near_miss() {
+    let bad = lint_fixture("panic_flag.rs", "crates/core/src/panic_flag.rs");
+    let hits: Vec<&Finding> = bad
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(
+        hits.len(),
+        2,
+        "the transitive panic! and the direct unreachable! must flag, got {bad:?}"
+    );
+    // The transitive site reports the shortest path from the root.
+    assert!(
+        hits.iter().any(|f| f.message.contains("lookup → locate")),
+        "shortest path missing from report: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("`classify`")),
+        "direct site must name its own root: {hits:?}"
+    );
+
+    let ok = lint_fixture("panic_near_miss.rs", "crates/core/src/panic_near_miss.rs");
+    assert!(ok.is_empty(), "near-miss must stay clean, got {ok:?}");
+}
+
+#[test]
+fn cross_file_panic_reachability() {
+    // The leaf alone is clean: `pub(crate)` is not a public root.
+    let alone = lint_fixture("xpanic_leaf.rs", "crates/graph/src/xpanic_leaf.rs");
+    assert!(alone.is_empty(), "leaf alone must be clean, got {alone:?}");
+
+    // Together with the public entry, the panic becomes reachable
+    // across files — and the finding lands at the leaf site.
+    let bad = lint_fixtures(&[
+        ("xpanic_entry_flag.rs", "crates/graph/src/xpanic_entry.rs"),
+        ("xpanic_leaf.rs", "crates/graph/src/xpanic_leaf.rs"),
+    ]);
+    let hits: Vec<&Finding> = bad
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(hits.len(), 1, "{bad:?}");
+    assert_eq!(hits[0].file, "crates/graph/src/xpanic_leaf.rs");
+    assert!(
+        hits[0].message.contains("entry → leaf_pick"),
+        "{}",
+        hits[0].message
+    );
+
+    // A pragma on the call edge vouches for the subtree: clean, and
+    // the pragma counts as used (no unused-pragma finding either).
+    let ok = lint_fixtures(&[
+        (
+            "xpanic_entry_near_miss.rs",
+            "crates/graph/src/xpanic_entry.rs",
+        ),
+        ("xpanic_leaf.rs", "crates/graph/src/xpanic_leaf.rs"),
+    ]);
+    assert!(ok.is_empty(), "pragma'd edge must stay clean, got {ok:?}");
+}
+
+#[test]
+fn seed_provenance_flags_and_near_miss() {
+    let bad = lint_fixture("seed_flag.rs", "crates/core/src/seed_flag.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "seed-provenance").count(),
+        2,
+        "direct sink and *_seed parameter must both flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture("seed_near_miss.rs", "crates/core/src/seed_near_miss.rs");
+    assert!(
+        ok.is_empty(),
+        "config-derived seeds must stay clean, got {ok:?}"
+    );
+}
+
+#[test]
+fn float_merge_order_flags_and_near_miss() {
+    let bad = lint_fixture("float_flag.rs", "crates/core/src/float_flag.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "float-merge-order").count(),
+        2,
+        "thread-shaped sum and += accumulation must both flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture("float_near_miss.rs", "crates/core/src/float_near_miss.rs");
+    assert!(
+        ok.is_empty(),
+        "integer folds and fixed partitions must stay clean, got {ok:?}"
+    );
+
+    // Scope: the rule watches core/graph only.
+    let out_of_scope = lint_fixture("float_flag.rs", "crates/mining/src/float_flag.rs");
+    assert!(rules_of(&out_of_scope)
+        .iter()
+        .all(|r| *r != "float-merge-order"));
+}
+
+#[test]
+fn result_discard_flags_and_near_miss() {
+    let bad = lint_fixture("result_flag.rs", "crates/core/src/result_flag.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "result-discard").count(),
+        2,
+        "`let _ =` and the bare statement must both flag, got {bad:?}"
+    );
+
+    let ok = lint_fixture("result_near_miss.rs", "crates/core/src/result_near_miss.rs");
+    assert!(ok.is_empty(), "handled Results must stay clean, got {ok:?}");
+}
+
+/// Two runs over differently-ordered file lists must produce
+/// byte-identical JSON: findings are sorted by
+/// `(path, line, column, rule)`, not by walk order.
+#[test]
+fn shuffled_file_order_yields_identical_json() {
+    let pairs = [
+        ("unwrap_flag.rs", "crates/core/src/a_unwrap.rs"),
+        ("result_flag.rs", "crates/core/src/b_result.rs"),
+        ("float_flag.rs", "crates/core/src/c_float.rs"),
+        ("xpanic_entry_flag.rs", "crates/graph/src/xpanic_entry.rs"),
+        ("xpanic_leaf.rs", "crates/graph/src/xpanic_leaf.rs"),
+    ];
+    let forward = andi_lint::format_json(&lint_fixtures(&pairs));
+    let mut reversed = pairs;
+    reversed.reverse();
+    let backward = andi_lint::format_json(&lint_fixtures(&reversed));
+    // Interleave a third order to be thorough.
+    let shuffled = [pairs[2], pairs[4], pairs[0], pairs[3], pairs[1]];
+    let scrambled = andi_lint::format_json(&lint_fixtures(&shuffled));
+    assert_eq!(forward, backward, "file order leaked into the output");
+    assert_eq!(forward, scrambled, "file order leaked into the output");
+    assert!(!forward.trim().is_empty());
+}
+
+/// Pragma burn-down: the count of active suppressions in the walked
+/// tree may only decrease. The scope-aware semantic engine retired a
+/// batch of pragmas the token heuristics needed; new code must not
+/// creep back up. Raise this ceiling only with a written argument in
+/// the PR description.
+#[test]
+fn pragma_count_only_decreases() {
+    let count = andi_lint::count_pragmas(&workspace_root()).expect("tree walk succeeds");
+    const CEILING: usize = 14;
+    assert!(
+        count <= CEILING,
+        "active andi::allow pragmas grew to {count} (ceiling {CEILING}); \
+         justify each new suppression and lower the ceiling when you retire one"
+    );
+}
+
+#[test]
 fn pragma_hygiene_is_enforced() {
     let findings = lint_fixture("pragma_hygiene.rs", "crates/core/src/pragma_hygiene.rs");
     let rules = rules_of(&findings);
@@ -160,12 +334,7 @@ fn findings_are_sorted_and_carry_positions() {
 /// job relies on.
 #[test]
 fn workspace_tree_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists")
-        .to_path_buf();
-    let findings = andi_lint::check_tree(&root).expect("tree walk succeeds");
+    let findings = andi_lint::check_tree(&workspace_root()).expect("tree walk succeeds");
     assert!(
         findings.is_empty(),
         "the workspace must lint clean:\n{}",
@@ -205,10 +374,37 @@ fn binary_exit_codes() {
         .expect("binary runs");
     assert_eq!(usage.status.code(), Some(2), "usage errors must exit 2");
 
+    // Repeated --file/--as pairs lint as one virtual workspace, so
+    // the cross-file rules see both sides.
+    let cross = Command::new(bin)
+        .args(["check", "--file"])
+        .arg(fixture_dir().join("xpanic_entry_flag.rs"))
+        .args(["--as", "crates/graph/src/xpanic_entry.rs", "--file"])
+        .arg(fixture_dir().join("xpanic_leaf.rs"))
+        .args([
+            "--as",
+            "crates/graph/src/xpanic_leaf.rs",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(cross.status.code(), Some(1), "cross-file panic must exit 1");
+    let json = String::from_utf8(cross.stdout).expect("utf-8");
+    assert!(json.contains("\"rule\":\"panic-reachability\""), "{json}");
+
     let rules = Command::new(bin).args(["rules"]).output().expect("runs");
     assert_eq!(rules.status.code(), Some(0));
     let listing = String::from_utf8(rules.stdout).expect("utf-8");
-    for rule in ["nondet-iteration", "lib-unwrap", "wallclock-in-core"] {
+    for rule in [
+        "nondet-iteration",
+        "lib-unwrap",
+        "wallclock-in-core",
+        "panic-reachability",
+        "seed-provenance",
+        "float-merge-order",
+        "result-discard",
+    ] {
         assert!(listing.contains(rule), "missing {rule} in listing");
     }
 }

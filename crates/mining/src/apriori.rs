@@ -80,10 +80,12 @@ fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
             } else {
                 (b, a)
             };
-            let candidate = lo
-                .extend_with(hi.items()[k - 1])
-                // andi::allow(lib-unwrap) — lo/hi were ordered by their last items two lines up
-                .expect("hi's last item exceeds lo's");
+            // lo/hi were ordered by their last items just above, so
+            // the extension is always valid; skip defensively rather
+            // than panic if that ever changes.
+            let Some(candidate) = lo.extend_with(hi.items()[k - 1]) else {
+                continue;
+            };
             if all_subsets_frequent(&candidate, &freq_index) {
                 out.push(candidate);
             }
