@@ -19,6 +19,15 @@ pub enum Error {
     Sampler(String),
     /// A database-layer failure (construction, relabeling).
     Data(String),
+    /// A worker task panicked; the pool was drained cleanly and the
+    /// payload captured instead of aborting the process.
+    WorkerPanic { task: usize, payload: String },
+    /// The wall-clock budget of a budgeted run was exceeded.
+    BudgetExceeded { budget_ms: u64 },
+    /// A [`crate::parallel::CancelToken`] fired mid-run.
+    Cancelled,
+    /// An exact computation overflowed its accumulator.
+    Overflow(String),
 }
 
 impl fmt::Display for Error {
@@ -36,11 +45,33 @@ impl fmt::Display for Error {
             }
             Error::Sampler(msg) => write!(f, "sampler failure: {msg}"),
             Error::Data(msg) => write!(f, "data error: {msg}"),
+            Error::WorkerPanic { task, payload } => {
+                write!(f, "worker task {task} panicked: {payload}")
+            }
+            Error::BudgetExceeded { budget_ms } => {
+                write!(f, "wall-clock budget of {budget_ms} ms exceeded")
+            }
+            Error::Cancelled => write!(f, "computation cancelled"),
+            Error::Overflow(msg) => write!(f, "arithmetic overflow: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<andi_graph::par::ExecError> for Error {
+    fn from(e: andi_graph::par::ExecError) -> Self {
+        match e {
+            andi_graph::par::ExecError::Cancelled => Error::Cancelled,
+            andi_graph::par::ExecError::BudgetExceeded { budget_ms } => {
+                Error::BudgetExceeded { budget_ms }
+            }
+            andi_graph::par::ExecError::WorkerPanic { task, payload } => {
+                Error::WorkerPanic { task, payload }
+            }
+        }
+    }
+}
 
 /// Convenient result alias for the crate.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -73,5 +104,35 @@ mod tests {
             .contains("tau"));
         assert!(Error::Sampler("x".into()).to_string().contains("x"));
         assert!(Error::Data("y".into()).to_string().contains("y"));
+        let e = Error::WorkerPanic {
+            task: 7,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("task 7") && e.to_string().contains("boom"));
+        assert!(Error::BudgetExceeded { budget_ms: 250 }
+            .to_string()
+            .contains("250 ms"));
+        assert!(Error::Cancelled.to_string().contains("cancelled"));
+        assert!(Error::Overflow("i128".into()).to_string().contains("i128"));
+    }
+
+    #[test]
+    fn exec_errors_convert_structurally() {
+        use andi_graph::par::ExecError;
+        assert_eq!(Error::from(ExecError::Cancelled), Error::Cancelled);
+        assert_eq!(
+            Error::from(ExecError::BudgetExceeded { budget_ms: 9 }),
+            Error::BudgetExceeded { budget_ms: 9 }
+        );
+        assert_eq!(
+            Error::from(ExecError::WorkerPanic {
+                task: 3,
+                payload: "p".into()
+            }),
+            Error::WorkerPanic {
+                task: 3,
+                payload: "p".into()
+            }
+        );
     }
 }

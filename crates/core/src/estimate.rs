@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use andi_graph::convex::{expected_cracks_convex, ConvexError};
-use andi_graph::exact::expected_cracks as ryser_expected_cracks;
+use andi_graph::exact::{try_expected_cracks, ExactError};
 use andi_graph::GroupedBigraph;
 
 use crate::error::{Error, Result};
@@ -100,15 +100,21 @@ pub fn best_expected_cracks(graph: &GroupedBigraph, state_budget: usize) -> Resu
         Err(ConvexError::UnmatchableItem { .. }) | Err(ConvexError::BudgetExceeded { .. }) => {}
     }
 
-    // 2. Ryser exact on tiny domains.
+    // 2. Ryser exact on tiny domains. Overflow and an empty mapping
+    // space are distinct outcomes here: `try_expected_cracks` keeps
+    // them apart where the raw `Option` permanents conflated them.
     if graph.n() <= RYSER_LIMIT {
-        if let Some(value) = ryser_expected_cracks(&graph.to_dense()) {
-            return Ok(CrackEstimate {
+        return match try_expected_cracks(&graph.to_dense()) {
+            Ok(value) => Ok(CrackEstimate {
                 value,
                 method: EstimateMethod::RyserExact,
-            });
-        }
-        return Err(Error::EmptyMappingSpace);
+            }),
+            Err(ExactError::EmptyMappingSpace) => Err(Error::EmptyMappingSpace),
+            Err(ExactError::Overflow) => {
+                Err(Error::Overflow("Ryser permanent overflowed i128".into()))
+            }
+            Err(ExactError::Interrupted(e)) => Err(e.into()),
+        };
     }
 
     // 3. O-estimate with propagation.

@@ -43,9 +43,12 @@
 
 /// The deterministic work-stealing execution layer (re-exported from
 /// [`andi_graph::par`]): [`parallel::map_indexed`] with its
-/// bit-identity contract, [`parallel::chunk_ranges`], and the
-/// `ANDI_THREADS` resolution in [`parallel::available_threads`]. The
-/// recipe, permanent and sampler hot paths all fan out through it.
+/// bit-identity contract, [`parallel::chunk_ranges`], the
+/// `ANDI_THREADS` resolution in [`parallel::available_threads`], and
+/// the budget layer ([`parallel::Budget`], [`parallel::CancelToken`],
+/// [`parallel::try_map_indexed`]) behind [`assess_risk_budgeted`].
+/// The recipe, permanent and sampler hot paths all fan out through
+/// it.
 pub mod parallel {
     pub use andi_graph::par::*;
 }
@@ -85,13 +88,15 @@ pub use itemsets::{identify_sets, IdentifiedBlock, SetIdentification};
 pub use oestimate::{oestimate, oestimate_for, oestimate_propagated, ItemStatus, OutdegreeProfile};
 pub use powerset::{assess_powerset_risk, ItemsetBelief, PowersetBelief, PowersetRisk};
 pub use recipe::{
-    assess_risk, compliancy_curve, compliancy_curve_decoy, compliancy_curve_decoy_with_threads,
-    compliancy_curve_probs, compliancy_curve_probs_with_threads, compliant_count, CompliancyPoint,
+    assess_risk, assess_risk_budgeted, assess_risk_budgeted_with_threads, compliancy_curve,
+    compliancy_curve_decoy, compliancy_curve_decoy_with_threads, compliancy_curve_probs,
+    compliancy_curve_probs_with_threads, compliant_count, BudgetedAssessment, CompliancyPoint,
     RecipeConfig, RiskAssessment, RiskDecision,
 };
 pub use relational::{
     assess_relational_risk, AnonymizedRelation, AttrValue, Constraint, Knowledge, RelationalRisk,
 };
+pub use report::{Provenance, Rung};
 pub use sanitize::{round_supports, utility_loss, Sanitized, UtilityLoss};
 pub use similarity::{
     sample_release_curve, sampled_belief, similarity_by_sampling, GapPolicy, SampleReleasePoint,

@@ -20,7 +20,11 @@
 //! floating-point fixpoints.
 
 use andi_data::FrequencyGroups;
+use andi_graph::exact::ExactError;
 use andi_graph::par;
+use andi_graph::par::{Budget, ExecError};
+use andi_graph::sampler::SamplerConfig;
+use andi_graph::{Matching, SamplerError, MAX_PERMANENT_N};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -28,6 +32,7 @@ use rand::SeedableRng;
 use crate::belief::BeliefFunction;
 use crate::error::{Error, Result};
 use crate::oestimate::OutdegreeProfile;
+use crate::report::{Provenance, Rung};
 
 /// Number of compliant items for a degree of compliancy `alpha` over
 /// a domain of `n` items: `round(alpha·n)`, clamped to `[0, n]`.
@@ -69,6 +74,10 @@ pub struct RecipeConfig {
     pub exact_state_budget: usize,
     /// RNG seed for the mask permutations.
     pub seed: u64,
+    /// Swap-walk schedule for the matching-sampler rung of the
+    /// budgeted degradation ladder (only read by
+    /// [`assess_risk_budgeted`]).
+    pub sampler_schedule: SamplerConfig,
 }
 
 impl Default for RecipeConfig {
@@ -80,6 +89,7 @@ impl Default for RecipeConfig {
             use_exact: false,
             exact_state_budget: andi_graph::convex::DEFAULT_STATE_BUDGET,
             seed: 0xA55E55,
+            sampler_schedule: SamplerConfig::quick(),
         }
     }
 }
@@ -314,6 +324,220 @@ pub fn assess_risk(
     })
 }
 
+/// A budgeted assessment: the ordinary transcript plus the
+/// provenance of the crack-probability estimate behind it — which
+/// rung of the degradation ladder answered, every rung that tripped
+/// on the way down, and the budget spent.
+#[derive(Clone, Debug)]
+pub struct BudgetedAssessment {
+    /// The Assess-Risk transcript, same shape as [`assess_risk`]'s.
+    pub assessment: RiskAssessment,
+    /// Where the numbers came from.
+    pub provenance: Provenance,
+}
+
+impl BudgetedAssessment {
+    /// Whether a rung below exact-permanent answered.
+    pub fn is_degraded(&self) -> bool {
+        self.provenance.degraded
+    }
+}
+
+/// [`assess_risk`] under a wall-clock [`Budget`] and cancel token,
+/// with [`par::available_threads`] workers.
+///
+/// See [`assess_risk_budgeted_with_threads`].
+pub fn assess_risk_budgeted(
+    supports: &[u64],
+    n_transactions: u64,
+    config: &RecipeConfig,
+    budget: &Budget,
+) -> Result<BudgetedAssessment> {
+    assess_risk_budgeted_with_threads(
+        supports,
+        n_transactions,
+        config,
+        budget,
+        par::available_threads(),
+    )
+}
+
+/// The budgeted Assess-Risk recipe: the same Figure 8 pipeline as
+/// [`assess_risk`], but the crack probabilities come from a
+/// graceful-degradation ladder that descends one rung each time the
+/// budget trips:
+///
+/// 1. **exact-permanent** — Ryser crack probabilities (skipped
+///    outright above [`MAX_PERMANENT_N`] items);
+/// 2. **matching-sampler** — the swap-walk's empirical crack
+///    frequencies under `config.sampler_schedule`;
+/// 3. **o-estimate** — the closed-form estimate; probe-free and
+///    unconditional, so the ladder always lands.
+///
+/// A rung descends on a deadline trip, an isolated worker panic, or
+/// (for the exact rung) permanent overflow; the returned
+/// [`Provenance`] records the answering rung and every trip. The α
+/// mask runs after the ladder keep polling the cancel token (the
+/// deadline no longer applies — a degraded answer is still an
+/// answer, so the tail runs to completion unless cancelled).
+///
+/// # Errors
+///
+/// Parameter validation as in [`assess_risk`];
+/// [`Error::EmptyMappingSpace`] when the exact rung proves there is
+/// no consistent matching; [`Error::Cancelled`] as soon as the
+/// [`andi_graph::CancelToken`] fires — cancellation aborts the whole
+/// run rather than degrading it.
+pub fn assess_risk_budgeted_with_threads(
+    supports: &[u64],
+    n_transactions: u64,
+    config: &RecipeConfig,
+    budget: &Budget,
+    threads: usize,
+) -> Result<BudgetedAssessment> {
+    if !(config.tolerance > 0.0 && config.tolerance <= 1.0) {
+        return Err(Error::InvalidParameter(format!(
+            "tolerance must be in (0, 1], got {}",
+            config.tolerance
+        )));
+    }
+    if supports.is_empty() {
+        return Err(Error::InvalidParameter("empty support profile".into()));
+    }
+    if config.n_mask_runs == 0 {
+        return Err(Error::InvalidParameter("need at least one mask run".into()));
+    }
+    let n = supports.len();
+    let tol_budget = config.tolerance * n as f64;
+
+    // Steps 1-5, exactly as in `assess_risk`.
+    let groups = FrequencyGroups::from_supports(supports, n_transactions);
+    let g = groups.n_groups() as f64;
+    let delta_med = groups.median_gap().unwrap_or(0.0);
+    let m = n_transactions as f64;
+    let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / m).collect();
+    let belief = BeliefFunction::widened(&freqs, delta_med)?;
+    let graph = belief.build_graph(supports, n_transactions);
+
+    // Step 6: descend the ladder for the crack probabilities.
+    let mut trips: Vec<(Rung, Error)> = Vec::new();
+    let (rung, probs) = ladder_probabilities(&graph, config, threads, budget, &mut trips)?;
+    let full_oe: f64 = probs.iter().sum();
+
+    let decision = if g <= tol_budget {
+        RiskDecision::DiscloseAtPointValued
+    } else if full_oe <= tol_budget {
+        RiskDecision::DiscloseAtFullCompliance
+    } else {
+        // Steps 8-9 under the cancel token only: a degraded answer is
+        // still an answer, so the deadline no longer cuts the tail
+        // short — but cancellation must.
+        let prefix_sums = try_mask_prefix_sums(
+            &probs,
+            config.n_mask_runs,
+            config.seed,
+            threads,
+            &budget.cancel_only(),
+        )
+        .map_err(Error::from)?;
+        let avg_oe_at = |c: usize| -> f64 {
+            prefix_sums.iter().map(|ps| ps[c]).sum::<f64>() / prefix_sums.len() as f64
+        };
+        let (mut lo, mut hi) = (0usize, n);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if avg_oe_at(mid) <= tol_budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        RiskDecision::AlphaMax {
+            alpha_max: lo as f64 / n as f64,
+            oestimate_at_alpha: avg_oe_at(lo),
+        }
+    };
+
+    Ok(BudgetedAssessment {
+        assessment: RiskAssessment {
+            n_items: n,
+            tolerance: config.tolerance,
+            point_valued_cracks: g,
+            delta_med,
+            full_compliance_oe: full_oe,
+            decision,
+        },
+        provenance: Provenance {
+            rung,
+            degraded: rung != Rung::Exact,
+            trips,
+            budget_ms: budget.limit_ms(),
+            spent_ms: budget.spent().as_millis(),
+        },
+    })
+}
+
+/// Walks the degradation ladder top-down and returns the first rung
+/// that produced per-item crack probabilities, recording every trip.
+///
+/// Cancellation and a provably empty mapping space abort instead of
+/// degrading (the lower rungs could not answer either meaningfully).
+fn ladder_probabilities(
+    graph: &andi_graph::GroupedBigraph,
+    config: &RecipeConfig,
+    threads: usize,
+    budget: &Budget,
+    trips: &mut Vec<(Rung, Error)>,
+) -> Result<(Rung, Vec<f64>)> {
+    let n = graph.n();
+
+    // Rung 1: exact crack probabilities from Ryser permanents.
+    if n <= MAX_PERMANENT_N {
+        match andi_graph::exact::crack_probabilities_budgeted(&graph.to_dense(), threads, budget) {
+            Ok(p) => return Ok((Rung::Exact, p)),
+            Err(ExactError::EmptyMappingSpace) => return Err(Error::EmptyMappingSpace),
+            Err(ExactError::Interrupted(ExecError::Cancelled)) => return Err(Error::Cancelled),
+            Err(ExactError::Overflow) => trips.push((
+                Rung::Exact,
+                Error::Overflow("permanent overflowed i128".into()),
+            )),
+            Err(ExactError::Interrupted(e)) => trips.push((Rung::Exact, e.into())),
+        }
+    } else {
+        trips.push((
+            Rung::Exact,
+            Error::InvalidParameter(format!(
+                "domain size {n} exceeds the exact-permanent cap {MAX_PERMANENT_N}"
+            )),
+        ));
+    }
+
+    // Rung 2: the swap-walk sampler's empirical crack frequencies.
+    // Seed with the identity when it is consistent (every item can be
+    // its own crack), otherwise with a maximum matching.
+    let seed_matching = if (0..n).all(|i| graph.has_edge(i, i)) {
+        Matching::identity(n)
+    } else {
+        andi_graph::hopcroft_karp(&graph.to_dense())
+    };
+    match andi_graph::sample_crack_probabilities_budgeted(
+        graph,
+        &seed_matching,
+        &config.sampler_schedule,
+        config.seed,
+        threads,
+        budget,
+    ) {
+        Ok(p) => return Ok((Rung::Sampler, p)),
+        Err(SamplerError::Interrupted(ExecError::Cancelled)) => return Err(Error::Cancelled),
+        Err(SamplerError::Interrupted(e)) => trips.push((Rung::Sampler, e.into())),
+        Err(e) => trips.push((Rung::Sampler, Error::Sampler(e.to_string()))),
+    }
+
+    // Rung 3: the O-estimate floor — probe-free and unconditional.
+    Ok((Rung::OEstimate, oe_probabilities(graph, config)?))
+}
+
 /// One point of the Figure 11 compliancy curve.
 #[derive(Clone, Copy, Debug)]
 pub struct CompliancyPoint {
@@ -476,6 +700,34 @@ fn oe_probabilities(graph: &andi_graph::GroupedBigraph, config: &RecipeConfig) -
 fn mask_prefix_sums(probs: &[f64], n_runs: usize, seed: u64, threads: usize) -> Vec<Vec<f64>> {
     let n = probs.len();
     par::map_indexed(threads, n_runs, |r| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut ps = Vec::with_capacity(n + 1);
+        ps.push(0.0);
+        let mut acc = 0.0;
+        for &x in &order {
+            acc += probs[x];
+            ps.push(acc);
+        }
+        ps
+    })
+}
+
+/// Budgeted, fault-isolated [`mask_prefix_sums`]: the same per-run
+/// seeding discipline (bit-identical output at every thread count),
+/// but each run is a [`par::try_map_indexed`] task carrying the
+/// `recipe.run` fault probe and polling `budget` between tasks.
+fn try_mask_prefix_sums(
+    probs: &[f64],
+    n_runs: usize,
+    seed: u64,
+    threads: usize,
+    budget: &Budget,
+) -> std::result::Result<Vec<Vec<f64>>, ExecError> {
+    let n = probs.len();
+    par::try_map_indexed(threads, n_runs, budget, |r| {
+        andi_graph::faults::probe("recipe.run", r);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
@@ -736,6 +988,126 @@ mod tests {
         let fallback = assess_risk(&BIGMART_SUPPORTS, 10, &c).unwrap();
         let plain = assess_risk(&BIGMART_SUPPORTS, 10, &config(0.01)).unwrap();
         assert!((fallback.full_compliance_oe - plain.full_compliance_oe).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_unlimited_answers_on_the_exact_rung() {
+        let budget = Budget::unlimited();
+        let base =
+            assess_risk_budgeted_with_threads(&BIGMART_SUPPORTS, 10, &config(0.1), &budget, 1)
+                .unwrap();
+        assert_eq!(base.provenance.rung, Rung::Exact);
+        assert!(!base.is_degraded());
+        assert!(base.provenance.trips.is_empty());
+        assert_eq!(base.provenance.budget_ms, None);
+
+        // The exact rung's full-compliance expectation is the
+        // permanent-based truth, not the O-estimate.
+        let a = &base.assessment;
+        let freqs: Vec<f64> = BIGMART_SUPPORTS.iter().map(|&s| s as f64 / 10.0).collect();
+        let belief = BeliefFunction::widened(&freqs, a.delta_med).unwrap();
+        let dense = belief.build_graph(&BIGMART_SUPPORTS, 10).to_dense();
+        let truth = andi_graph::exact::expected_cracks(&dense).unwrap();
+        assert!(
+            (a.full_compliance_oe - truth).abs() < 1e-9,
+            "exact rung {} vs permanent {truth}",
+            a.full_compliance_oe
+        );
+
+        // Same numbers and decision at any worker count.
+        for threads in 2..=4 {
+            let b = assess_risk_budgeted_with_threads(
+                &BIGMART_SUPPORTS,
+                10,
+                &config(0.1),
+                &Budget::unlimited(),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(b.provenance.rung, Rung::Exact);
+            assert_eq!(
+                b.assessment.full_compliance_oe.to_bits(),
+                a.full_compliance_oe.to_bits(),
+                "t={threads}"
+            );
+            assert_eq!(b.assessment.decision, a.decision, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_zero_budget_degrades_to_the_oestimate_floor() {
+        let base = assess_risk_budgeted_with_threads(
+            &BIGMART_SUPPORTS,
+            10,
+            &config(0.1),
+            &Budget::with_deadline(std::time::Duration::ZERO),
+            1,
+        )
+        .unwrap();
+        assert_eq!(base.provenance.rung, Rung::OEstimate);
+        assert!(base.is_degraded());
+        assert_eq!(base.provenance.budget_ms, Some(0));
+        let trip_rungs: Vec<Rung> = base.provenance.trips.iter().map(|(r, _)| *r).collect();
+        assert_eq!(trip_rungs, vec![Rung::Exact, Rung::Sampler]);
+        for (_, err) in &base.provenance.trips {
+            assert_eq!(*err, Error::BudgetExceeded { budget_ms: 0 });
+        }
+
+        // The floor is the plain recipe's O-estimate path: identical
+        // transcript numbers.
+        let plain = assess_risk(&BIGMART_SUPPORTS, 10, &config(0.1)).unwrap();
+        assert_eq!(
+            base.assessment.full_compliance_oe.to_bits(),
+            plain.full_compliance_oe.to_bits()
+        );
+        assert_eq!(base.assessment.decision, plain.decision);
+
+        // Identical structured outcome at any worker count.
+        for threads in 2..=4 {
+            let b = assess_risk_budgeted_with_threads(
+                &BIGMART_SUPPORTS,
+                10,
+                &config(0.1),
+                &Budget::with_deadline(std::time::Duration::ZERO),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(b.provenance.rung, base.provenance.rung, "t={threads}");
+            assert_eq!(b.provenance.trips, base.provenance.trips, "t={threads}");
+            assert_eq!(
+                b.assessment.full_compliance_oe.to_bits(),
+                base.assessment.full_compliance_oe.to_bits(),
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_cancellation_aborts_instead_of_degrading() {
+        let token = andi_graph::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        for threads in [1, 4] {
+            let err = assess_risk_budgeted_with_threads(
+                &BIGMART_SUPPORTS,
+                10,
+                &config(0.1),
+                &budget,
+                threads,
+            )
+            .unwrap_err();
+            assert_eq!(err, Error::Cancelled, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_rejects_bad_parameters_like_the_plain_recipe() {
+        let b = Budget::unlimited();
+        assert!(assess_risk_budgeted(&BIGMART_SUPPORTS, 10, &config(0.0), &b).is_err());
+        assert!(assess_risk_budgeted(&[], 10, &config(0.1), &b).is_err());
+        let mut c = config(0.1);
+        c.n_mask_runs = 0;
+        assert!(assess_risk_budgeted(&BIGMART_SUPPORTS, 10, &c, &b).is_err());
     }
 
     #[test]

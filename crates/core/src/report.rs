@@ -1,8 +1,86 @@
-//! Plain-text table rendering for the benchmark harness.
+//! Plain-text table rendering for the benchmark harness, and the
+//! provenance record budgeted Assess-Risk runs attach to their
+//! answers.
 //!
 //! The `andi-bench` binaries print each paper table/figure as an
 //! aligned text table with a paper-vs-measured layout; this tiny
 //! renderer keeps them free of formatting noise.
+
+use crate::error::Error;
+
+/// The estimator rung that produced a risk figure, from most to
+/// least precise (the degradation ladder of the budgeted recipe).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// Exact crack probabilities via Ryser permanents.
+    Exact,
+    /// The swap-walk matching sampler's empirical frequencies.
+    Sampler,
+    /// The closed-form O-estimate (always answers; coarsest).
+    OEstimate,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::Exact => write!(f, "exact-permanent"),
+            Rung::Sampler => write!(f, "matching-sampler"),
+            Rung::OEstimate => write!(f, "o-estimate"),
+        }
+    }
+}
+
+/// Where a budgeted assessment's numbers came from: the rung that
+/// answered, every rung that tripped on the way down (with the error
+/// that tripped it), and how much of the budget was spent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Provenance {
+    /// The rung whose numbers the assessment reports.
+    pub rung: Rung,
+    /// Whether the answer is degraded (a rung below [`Rung::Exact`]
+    /// answered).
+    pub degraded: bool,
+    /// The rungs that failed before the answering one, in descent
+    /// order, each with its structured trip reason.
+    pub trips: Vec<(Rung, Error)>,
+    /// The configured wall-clock budget, when one was set.
+    pub budget_ms: Option<u64>,
+    /// Wall-clock time spent by the whole assessment, in ms.
+    pub spent_ms: u128,
+}
+
+impl Provenance {
+    /// Renders the record as the `provenance:`-prefixed report lines
+    /// the CLI prints under a budgeted assessment.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "provenance: answered by {} ({})\n",
+            self.rung,
+            if self.degraded { "degraded" } else { "exact" }
+        ));
+        for (rung, err) in &self.trips {
+            out.push_str(&format!("provenance: {rung} tripped: {err}\n"));
+        }
+        match self.budget_ms {
+            Some(ms) => out.push_str(&format!(
+                "provenance: budget {} ms, spent {} ms\n",
+                ms, self.spent_ms
+            )),
+            None => out.push_str(&format!(
+                "provenance: no deadline, spent {} ms\n",
+                self.spent_ms
+            )),
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
 
 /// A simple right-aligned text table.
 #[derive(Clone, Debug, Default)]
@@ -178,6 +256,37 @@ mod tests {
             "pipes are escaped: {}",
             lines[2]
         );
+    }
+
+    #[test]
+    fn provenance_renders_rung_trips_and_budget() {
+        let p = Provenance {
+            rung: Rung::OEstimate,
+            degraded: true,
+            trips: vec![
+                (Rung::Exact, Error::BudgetExceeded { budget_ms: 50 }),
+                (Rung::Sampler, Error::BudgetExceeded { budget_ms: 50 }),
+            ],
+            budget_ms: Some(50),
+            spent_ms: 51,
+        };
+        let s = p.render();
+        assert!(s.contains("answered by o-estimate (degraded)"), "{s}");
+        assert!(s.contains("exact-permanent tripped"), "{s}");
+        assert!(s.contains("matching-sampler tripped"), "{s}");
+        assert!(s.contains("budget 50 ms"), "{s}");
+
+        let exact = Provenance {
+            rung: Rung::Exact,
+            degraded: false,
+            trips: Vec::new(),
+            budget_ms: None,
+            spent_ms: 2,
+        };
+        assert!(exact
+            .render()
+            .contains("answered by exact-permanent (exact)"));
+        assert!(exact.render().contains("no deadline"));
     }
 
     #[test]

@@ -17,7 +17,47 @@
 //! `S`, forbid crack edges outside `S`, count matchings).
 
 use crate::dense::DenseBigraph;
-use crate::permanent::{permanent, permanent_of_rows, MAX_PERMANENT_N};
+use crate::par::{Budget, ExecError};
+use crate::permanent::{
+    permanent, permanent_of_rows, try_permanent_of_rows_budgeted,
+    try_permanent_of_rows_with_threads, MAX_PERMANENT_N,
+};
+
+/// Structured failure of an exact computation: every condition the
+/// panicking wrappers either panic on or fold into `None` gets its
+/// own variant, so budgeted callers (the Assess-Risk degradation
+/// ladder) can tell "descend a rung" apart from "abort".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactError {
+    /// The graph has no perfect matching: the mapping space is empty
+    /// and crack probabilities are undefined.
+    EmptyMappingSpace,
+    /// The Ryser accumulator would overflow `i128` (dense graphs
+    /// near [`MAX_PERMANENT_N`]).
+    Overflow,
+    /// A budgeted run was interrupted: deadline, cancellation, or an
+    /// isolated worker panic.
+    Interrupted(ExecError),
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::EmptyMappingSpace => {
+                write!(f, "graph has no perfect matching; mapping space is empty")
+            }
+            ExactError::Overflow => {
+                write!(
+                    f,
+                    "permanent overflowed i128; domain too dense for exact Ryser"
+                )
+            }
+            ExactError::Interrupted(e) => write!(f, "exact computation interrupted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
 
 /// Exact expected number of cracks in the aligned graph `g`.
 ///
@@ -65,6 +105,122 @@ pub fn expected_cracks(g: &DenseBigraph) -> Option<f64> {
         e += fixed as f64 / total as f64;
     }
     Some(e)
+}
+
+/// [`expected_cracks`] with every failure condition structured:
+/// overflow is [`ExactError::Overflow`] (the legacy `permanent`
+/// wrapper panicked here) and an empty mapping space is
+/// [`ExactError::EmptyMappingSpace`] (the legacy path folded it into
+/// `None`).
+///
+/// # Errors
+///
+/// See [`ExactError`].
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_PERMANENT_N`.
+pub fn try_expected_cracks(g: &DenseBigraph) -> Result<f64, ExactError> {
+    try_expected_cracks_with_threads(g, crate::par::available_threads())
+}
+
+/// [`try_expected_cracks`] with an explicit worker count (results are
+/// identical for every `threads`; the serial walk also short-circuits
+/// overflow fastest, which the dense regression tests rely on).
+///
+/// # Errors
+///
+/// See [`ExactError`].
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_PERMANENT_N`.
+pub fn try_expected_cracks_with_threads(
+    g: &DenseBigraph,
+    threads: usize,
+) -> Result<f64, ExactError> {
+    let n = g.n();
+    assert!(
+        n <= MAX_PERMANENT_N,
+        "exact computation limited to n <= {MAX_PERMANENT_N}"
+    );
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    let total =
+        try_permanent_of_rows_with_threads(&rows, n, threads).ok_or(ExactError::Overflow)?;
+    if total == 0 {
+        return Err(ExactError::EmptyMappingSpace);
+    }
+    let mut e = 0.0f64;
+    for x in 0..n {
+        if !g.has_edge(x, x) {
+            continue;
+        }
+        let reduced: Vec<u64> = (0..n)
+            .filter(|&i| i != x)
+            .map(|i| delete_column(rows[i], x))
+            .collect();
+        let fixed = try_permanent_of_rows_with_threads(&reduced, n - 1, threads)
+            .ok_or(ExactError::Overflow)?;
+        e += fixed as f64 / total as f64;
+    }
+    Ok(e)
+}
+
+/// Budgeted, fault-isolated [`crack_probabilities`]: the full
+/// permanent and each reduced permanent run through
+/// [`try_permanent_of_rows_budgeted`], so the whole computation
+/// respects the deadline/token and reports structured errors. Item
+/// order is fixed, so the result is bit-identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// See [`ExactError`].
+///
+/// # Panics
+///
+/// Panics if `g.n() > MAX_PERMANENT_N`.
+pub fn crack_probabilities_budgeted(
+    g: &DenseBigraph,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Vec<f64>, ExactError> {
+    let n = g.n();
+    assert!(n <= MAX_PERMANENT_N);
+    let rows: Vec<u64> = (0..n).map(|i| g.row_words(i)[0]).collect();
+    let total = budgeted_permanent(&rows, n, threads, budget)?;
+    if total == 0 {
+        return Err(ExactError::EmptyMappingSpace);
+    }
+    let mut probs = Vec::with_capacity(n);
+    for x in 0..n {
+        if !g.has_edge(x, x) {
+            probs.push(0.0);
+            continue;
+        }
+        let reduced: Vec<u64> = (0..n)
+            .filter(|&i| i != x)
+            .map(|i| delete_column(rows[i], x))
+            .collect();
+        let fixed = budgeted_permanent(&reduced, n - 1, threads, budget)?;
+        probs.push(fixed as f64 / total as f64);
+    }
+    Ok(probs)
+}
+
+/// Maps the budgeted permanent's three-way outcome onto
+/// [`ExactError`].
+fn budgeted_permanent(
+    rows: &[u64],
+    n: usize,
+    threads: usize,
+    budget: &Budget,
+) -> Result<u128, ExactError> {
+    match try_permanent_of_rows_budgeted(rows, n, threads, budget) {
+        Err(e) => Err(ExactError::Interrupted(e)),
+        Ok(None) => Err(ExactError::Overflow),
+        Ok(Some(v)) => Ok(v),
+    }
 }
 
 /// Per-item exact crack probabilities; entry `x` is
@@ -266,6 +422,74 @@ mod tests {
         assert!(dist[1].abs() < 1e-12);
         let mean: f64 = dist.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
         assert!((mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_expected_cracks_structures_every_failure() {
+        // Happy path agrees with the legacy API.
+        let g = DenseBigraph::complete(5);
+        let e = try_expected_cracks(&g).unwrap();
+        assert!((e - 1.0).abs() < 1e-9);
+
+        // Empty mapping space is its own variant, not a panic or None.
+        let g = DenseBigraph::from_edges(2, &[(0, 1), (1, 1)]);
+        assert_eq!(try_expected_cracks(&g), Err(ExactError::EmptyMappingSpace));
+    }
+
+    #[test]
+    fn dense_overflow_is_a_structured_error_not_a_panic() {
+        // The satellite regression: the dense n=27 case that overflows
+        // Ryser's i128 partial sums must surface as
+        // `ExactError::Overflow` from the audited caller path (the
+        // legacy `expected_cracks` would panic inside `permanent`).
+        // Serial walk: overflow short-circuits, keeping this cheap.
+        let mut g = DenseBigraph::new(27);
+        for i in 0..27 {
+            for j in 0..27 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(
+            try_expected_cracks_with_threads(&g, 1),
+            Err(ExactError::Overflow)
+        );
+    }
+
+    #[test]
+    fn budgeted_probabilities_match_legacy() {
+        let mut g = DenseBigraph::new(6);
+        for &i in &[0usize, 2, 3, 5] {
+            for &j in &[0usize, 2, 3, 5] {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge(1, 1);
+        g.add_edge(4, 4);
+        let legacy = crack_probabilities(&g).unwrap();
+        for threads in 1..=4 {
+            let b = Budget::unlimited();
+            let budgeted = crack_probabilities_budgeted(&g, threads, &b).unwrap();
+            assert_eq!(budgeted, legacy, "threads = {threads}");
+        }
+
+        let infeasible = DenseBigraph::from_edges(2, &[(0, 1), (1, 1)]);
+        let b = Budget::unlimited();
+        assert_eq!(
+            crack_probabilities_budgeted(&infeasible, 2, &b),
+            Err(ExactError::EmptyMappingSpace)
+        );
+    }
+
+    #[test]
+    fn budgeted_probabilities_zero_budget_is_interrupted() {
+        let g = DenseBigraph::complete(5);
+        let b = Budget::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            crack_probabilities_budgeted(&g, 2, &b),
+            Err(ExactError::Interrupted(ExecError::BudgetExceeded {
+                budget_ms: 0
+            }))
+        );
     }
 
     #[test]

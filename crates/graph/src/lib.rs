@@ -20,7 +20,12 @@
 //!   matchings.
 //! * [`par`] — the deterministic work-stealing execution layer the
 //!   permanent, sampler and (via `andi-core`) recipe hot paths fan
-//!   out on.
+//!   out on, plus the [`par::Budget`]/[`par::CancelToken`] layer that
+//!   makes every budgeted entry point deadline-bounded, cancellable,
+//!   and panic-isolated.
+//! * [`faults`] — the deterministic seeded fault-injection harness
+//!   behind the chaos suite (`ANDI_FAULTS` schedules, named probe
+//!   points inside the budgeted hot paths).
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +33,7 @@ pub mod convex;
 pub mod dense;
 pub mod dot;
 pub mod exact;
+pub mod faults;
 pub mod grouped;
 pub mod matching;
 pub mod par;
@@ -38,14 +44,21 @@ pub mod sampler;
 pub use convex::{expected_cracks_convex, ConvexError, ConvexExact, DEFAULT_STATE_BUDGET};
 pub use dense::DenseBigraph;
 pub use dot::{to_dot, DotOptions};
-pub use exact::{crack_distribution, crack_probabilities, expected_cracks};
+pub use exact::{
+    crack_distribution, crack_probabilities, crack_probabilities_budgeted, expected_cracks,
+    try_expected_cracks, try_expected_cracks_with_threads, ExactError,
+};
+pub use faults::{FaultMode, FaultSchedule, FAULTS_ENV};
 pub use grouped::{BeliefGroup, GroupedBigraph, Matching};
 pub use matching::{has_perfect_matching, hopcroft_karp};
+pub use par::{try_map_indexed, Budget, CancelToken, ExecError};
 pub use permanent::{
-    permanent, permanent_of_rows, try_permanent, try_permanent_of_rows, MAX_PERMANENT_N,
+    permanent, permanent_of_rows, try_permanent, try_permanent_of_rows,
+    try_permanent_of_rows_budgeted, MAX_PERMANENT_N,
 };
 pub use propagate::{propagate, Propagation};
 pub use sampler::{
-    sample_cracks, sample_cracks_sharded, sample_cracks_with_threads, CrackSamples, EdgeOracle,
-    SamplerConfig, SamplerError,
+    sample_crack_probabilities_budgeted, sample_cracks, sample_cracks_budgeted,
+    sample_cracks_sharded, sample_cracks_with_threads, CrackSamples, EdgeOracle, SamplerConfig,
+    SamplerError,
 };

@@ -23,24 +23,374 @@
 //! [`available_threads`] resolves the ambient parallelism: the
 //! `ANDI_THREADS` environment variable when set (values `0` and `1`
 //! both mean serial), otherwise `std::thread::available_parallelism`.
+//! An unparseable override is rejected with a one-time warning, not
+//! silently ignored.
+//!
+//! # Budgets, cancellation, and fault isolation
+//!
+//! [`Budget`] carries an optional wall-clock deadline plus an
+//! optional [`CancelToken`]; [`Budget::check`] is the single poll
+//! primitive every hot loop in the workspace calls (Gray-code strides
+//! in `permanent`, swap strides and epoch boundaries in `sampler`,
+//! per mask run in the recipe, and between tasks here). A trip
+//! surfaces as a structured [`ExecError`] instead of a hang.
+//!
+//! [`try_map_indexed`] is the fault-isolated sibling of
+//! [`map_indexed`]: each task runs under `catch_unwind`, the pool
+//! drains cleanly, and a panicking task becomes
+//! [`ExecError::WorkerPanic`] carrying the *lowest* panicking task
+//! index — the same index a serial run would hit first — so the
+//! reported error is bit-identical at every thread count whenever the
+//! set of panicking tasks depends only on the task index (the
+//! [`crate::faults`] injection discipline guarantees exactly that).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "ANDI_THREADS";
 
 /// Resolves the ambient thread count: `ANDI_THREADS` when set (and
 /// parseable), otherwise the machine's available parallelism. Always
-/// at least 1.
+/// at least 1. An unparseable `ANDI_THREADS` value falls back to
+/// machine parallelism with a one-time `stderr` warning naming the
+/// variable and the fallback (a silent fallback once masked typos
+/// like `ANDI_THREADS=four` in CI matrices).
 pub fn available_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+    let ambient = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => resolve_threads(Some(&v), ambient),
+        Err(_) => ambient,
+    }
+}
+
+/// Pure resolution of an `ANDI_THREADS` override against the ambient
+/// machine parallelism (separated from the env read so the policy is
+/// unit-testable without mutating process-global state). Garbage
+/// values warn once and fall back to `ambient`.
+fn resolve_threads(override_value: Option<&str>, ambient: usize) -> usize {
+    match override_value {
+        None => ambient,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                warn_bad_threads(v, ambient);
+                ambient
+            }
+        },
+    }
+}
+
+/// One-time warning for an unparseable `ANDI_THREADS` value.
+fn warn_bad_threads(value: &str, fallback: usize) {
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: {THREADS_ENV}={value:?} is not a valid thread count; \
+             falling back to machine parallelism ({fallback})"
+        );
+    });
+}
+
+/// Cooperative cancellation flag, shared by cloning. Fire
+/// [`CancelToken::cancel`] from any thread; every in-flight budgeted
+/// computation polling a [`Budget`] built with this token stops at
+/// its next poll point with [`ExecError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; the flag latches.
+    pub fn cancel(&self) {
+        self.inner.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock deadline plus an optional [`CancelToken`], polled
+/// cooperatively via [`Budget::check`].
+///
+/// Both trips are *sticky*: once the deadline has passed or the token
+/// has fired, every later poll reports the same structured error, so
+/// early and late polls of the same budget can never disagree about
+/// the outcome.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    start: Instant,
+    deadline: Option<Instant>,
+    limit_ms: Option<u64>,
+    token: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget that never trips on its own (no deadline, no token).
+    pub fn unlimited() -> Self {
+        Budget {
+            start: Instant::now(),
+            deadline: None,
+            limit_ms: None,
+            token: None,
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+
+    /// A budget whose deadline is `limit` from now.
+    pub fn with_deadline(limit: Duration) -> Self {
+        let start = Instant::now();
+        Budget {
+            start,
+            deadline: Some(start + limit),
+            limit_ms: Some(limit.as_millis().min(u128::from(u64::MAX)) as u64),
+            token: None,
+        }
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// The same budget with the deadline dropped but the token kept:
+    /// the recipe runs its cheap polynomial tail under this, so a
+    /// degraded answer is still produced after the deadline killed
+    /// the expensive estimator rungs, while cancellation keeps
+    /// working everywhere.
+    pub fn cancel_only(&self) -> Budget {
+        Budget {
+            start: self.start,
+            deadline: None,
+            limit_ms: None,
+            token: self.token.clone(),
+        }
+    }
+
+    /// The configured wall-clock limit in milliseconds, if any.
+    pub fn limit_ms(&self) -> Option<u64> {
+        self.limit_ms
+    }
+
+    /// Wall-clock time elapsed since this budget was created.
+    pub fn spent(&self) -> Duration {
+        Instant::now().duration_since(self.start)
+    }
+
+    /// Polls the budget: cancellation first, then the deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Cancelled`] if the token has fired,
+    /// [`ExecError::BudgetExceeded`] if the deadline has passed.
+    pub fn check(&self) -> Result<(), ExecError> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(ExecError::BudgetExceeded {
+                    budget_ms: self.limit_ms.unwrap_or(0),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structured failure of a budgeted parallel computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A [`CancelToken`] fired; the computation stopped at its next
+    /// poll point.
+    Cancelled,
+    /// The wall-clock deadline passed before the computation
+    /// finished.
+    BudgetExceeded {
+        /// The configured limit, for reporting (0 when unknown).
+        budget_ms: u64,
+    },
+    /// A worker task panicked; the pool was drained cleanly and the
+    /// panic converted into a value instead of aborting the process.
+    WorkerPanic {
+        /// The lowest panicking task index (equal to the index a
+        /// serial run would hit first).
+        task: usize,
+        /// The panic payload, when it was a string.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "computation cancelled"),
+            ExecError::BudgetExceeded { budget_ms } => {
+                write!(f, "wall-clock budget of {budget_ms} ms exceeded")
+            }
+            ExecError::WorkerPanic { task, payload } => {
+                write!(f, "worker task {task} panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Renders a caught panic payload.
+fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-isolated, budgeted [`map_indexed`]: maps `f` over
+/// `0..n_tasks`, polling `budget` between tasks and catching task
+/// panics instead of aborting.
+///
+/// On success the result equals `(0..n_tasks).map(f).collect()`
+/// exactly like [`map_indexed`]. On failure the error is structured
+/// and *deterministic* under the same preconditions:
+///
+/// * budget/cancel trips are sticky, so whichever poll observes them
+///   reports the same [`ExecError`] value at any thread count;
+/// * a panic reports the lowest panicking task index (workers skip
+///   indices above the current minimum and drain), which equals the
+///   first index a serial run would panic at whenever panicking is a
+///   function of the task index alone.
+///
+/// Error precedence when several conditions hold at drain time:
+/// `Cancelled` over `BudgetExceeded` over `WorkerPanic`.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn try_map_indexed<T, F>(
+    threads: usize,
+    n_tasks: usize,
+    budget: &Budget,
+    f: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    budget.check()?;
+    if threads <= 1 || n_tasks <= 1 {
+        let mut out = Vec::with_capacity(n_tasks);
+        let mut panicked: Option<(usize, String)> = None;
+        for i in 0..n_tasks {
+            budget.check()?;
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    panicked = Some((i, payload_text(p)));
+                    break;
+                }
+            }
+        }
+        budget.check()?;
+        if let Some((task, payload)) = panicked {
+            return Err(ExecError::WorkerPanic { task, payload });
+        }
+        return Ok(out);
+    }
+
+    let workers = threads.min(n_tasks);
+    let next = AtomicUsize::new(0);
+    let min_panic = AtomicUsize::new(usize::MAX);
+    let payloads: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n_tasks);
+    let scope_ok = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let min_panic = &min_panic;
+                let payloads = &payloads;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if budget.check().is_err() {
+                            return local;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            return local;
+                        }
+                        // Indices above the lowest known panic cannot
+                        // change the reported error; skip them so the
+                        // pool drains fast. Indices below it must
+                        // still run — one of them may panic with a
+                        // smaller index, and the minimum over all
+                        // executed tasks is what makes the report
+                        // thread-count-independent.
+                        if i >= min_panic.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => local.push((i, v)),
+                            Err(p) => {
+                                min_panic.fetch_min(i, Ordering::Relaxed);
+                                let mut sink = payloads.lock().unwrap_or_else(|e| e.into_inner());
+                                sink.push((i, payload_text(p)));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(part) = h.join() {
+                tagged.extend(part);
+            } else {
+                // Only reachable if a panic escapes catch_unwind
+                // (e.g. a panicking payload Drop); report it rather
+                // than unwinding through the caller.
+                min_panic.fetch_min(0, Ordering::Relaxed);
+            }
+        }
+    })
+    .is_ok();
+
+    budget.check()?;
+    let mp = min_panic.load(Ordering::Relaxed);
+    if mp != usize::MAX {
+        let sink = payloads.lock().unwrap_or_else(|e| e.into_inner());
+        let payload = sink
+            .iter()
+            .find(|(i, _)| *i == mp)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| "worker pool failure".to_string());
+        return Err(ExecError::WorkerPanic { task: mp, payload });
+    }
+    if !scope_ok {
+        return Err(ExecError::WorkerPanic {
+            task: 0,
+            payload: "worker pool failure".to_string(),
+        });
+    }
+    debug_assert_eq!(tagged.len(), n_tasks);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    Ok(tagged.into_iter().map(|(_, v)| v).collect())
 }
 
 /// Maps `f` over `0..n_tasks` on up to `threads` workers and returns

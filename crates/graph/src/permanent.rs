@@ -26,7 +26,9 @@
 //! the `try_` variants instead of silently wrapping.
 
 use crate::dense::DenseBigraph;
+use crate::faults;
 use crate::par;
+use crate::par::{Budget, ExecError};
 
 /// Hard cap on the domain size for exact permanents. `2^30` subset
 /// iterations is the practical ceiling; beyond it the accumulator
@@ -121,31 +123,106 @@ pub fn try_permanent_of_rows_with_threads(rows: &[u64], n: usize, threads: usize
     }
 
     let subsets = (1u64 << n) - 1; // s ranges over [1, 2^n)
+    let unlimited = Budget::unlimited();
     let total: Option<i128> = if threads > 1 && n >= PARALLEL_MIN_N {
         // Fixed chunk layout (thread-count-independent values; the
         // worker count only affects scheduling).
         let chunks = par::chunk_ranges(subsets, threads * 8);
         let partials = par::map_indexed(threads, chunks.len(), |c| {
             let (lo, hi) = chunks[c];
-            ryser_range(rows, n, lo + 1, hi + 1)
+            ryser_range(rows, n, lo + 1, hi + 1, &unlimited)
         });
-        partials
-            .into_iter()
-            .try_fold(0i128, |acc, p| acc.checked_add(p?))
+        partials.into_iter().try_fold(0i128, |acc, p| match p {
+            // An unlimited budget never trips, so Err is unreachable
+            // here; folding it into the overflow path keeps the
+            // legacy signature without an unwrap.
+            Ok(Some(v)) => acc.checked_add(v),
+            _ => None,
+        })
     } else {
-        ryser_range(rows, n, 1, subsets + 1)
+        // An unlimited budget never trips, so the Err arm is
+        // unreachable; defaulting it to `None` folds it into the
+        // overflow path and keeps the legacy signature.
+        ryser_range(rows, n, 1, subsets + 1, &unlimited).unwrap_or_default()
     };
     let total = total?;
     debug_assert!(total >= 0, "permanent of a 0/1 matrix is non-negative");
     u128::try_from(total).ok()
 }
 
+/// Subset count per chunk of the budgeted walk: `2^12` keeps the
+/// chunk layout fixed (thread-count-independent) while giving budget
+/// polls and fault probes useful granularity even at moderate `n`
+/// (`n = 16` → 16 chunks).
+const CHUNK_SUBSETS: u64 = 1 << 12;
+
+/// Budgeted, fault-isolated [`try_permanent_of_rows_with_threads`]:
+/// the Gray-code walk is split into a *fixed* chunk layout
+/// (`CHUNK_SUBSETS = 2^12` subsets per chunk, independent of
+/// `threads`),
+/// each chunk runs as one [`par::try_map_indexed`] task carrying the
+/// `permanent.chunk` fault probe, and the walk inside every chunk
+/// polls `budget` each 8192 subsets.
+///
+/// `Ok(None)` is accumulator overflow (same meaning as the legacy
+/// `try_` family); `Ok(Some(v))` is exact at any thread count.
+///
+/// # Errors
+///
+/// [`ExecError`] when the budget trips, the token fires, or an
+/// injected fault panics a chunk task.
+///
+/// # Panics
+///
+/// Panics if `n > MAX_PERMANENT_N` or `rows.len() != n`.
+pub fn try_permanent_of_rows_budgeted(
+    rows: &[u64],
+    n: usize,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Option<u128>, ExecError> {
+    assert!(n <= MAX_PERMANENT_N);
+    assert_eq!(rows.len(), n);
+    if n == 0 {
+        return Ok(Some(1));
+    }
+    if rows.iter().any(|&r| r & mask(n) == 0) {
+        return Ok(Some(0));
+    }
+
+    let subsets = (1u64 << n) - 1;
+    let n_chunks = subsets.div_ceil(CHUNK_SUBSETS).max(1) as usize;
+    let chunks = par::chunk_ranges(subsets, n_chunks);
+    let partials = par::try_map_indexed(threads, chunks.len(), budget, |c| {
+        faults::probe("permanent.chunk", c);
+        let (lo, hi) = chunks[c];
+        ryser_range(rows, n, lo + 1, hi + 1, budget)
+    })?;
+    let mut total: i128 = 0;
+    for part in partials {
+        let Some(v) = part? else { return Ok(None) };
+        let Some(acc) = total.checked_add(v) else {
+            return Ok(None);
+        };
+        total = acc;
+    }
+    debug_assert!(total >= 0, "permanent of a 0/1 matrix is non-negative");
+    Ok(u128::try_from(total).ok())
+}
+
 /// Signed Ryser contribution of the Gray-code walk over
 /// `s ∈ [s_start, s_end)`, `s_start >= 1`: the sum over the visited
 /// column subsets `S = gray(s)` of `(-1)^(n - |S|) · Π_i |row_i ∩ S|`.
 /// Row sums are seeded from `gray(s_start - 1)` so any contiguous
-/// range can start mid-walk.
-fn ryser_range(rows: &[u64], n: usize, s_start: u64, s_end: u64) -> Option<i128> {
+/// range can start mid-walk. Polls `budget` every 8192 subsets;
+/// `Ok(None)` is accumulator overflow.
+fn ryser_range(
+    rows: &[u64],
+    n: usize,
+    s_start: u64,
+    s_end: u64,
+    budget: &Budget,
+) -> Result<Option<i128>, ExecError> {
     let mut prev_gray = (s_start - 1) ^ ((s_start - 1) >> 1);
     let mut row_sums: Vec<i64> = rows
         .iter()
@@ -154,6 +231,9 @@ fn ryser_range(rows: &[u64], n: usize, s_start: u64, s_end: u64) -> Option<i128>
     let checked = n > SAFE_UNCHECKED_N;
     let mut total: i128 = 0;
     for s in s_start..s_end {
+        if s & 8191 == 0 {
+            budget.check()?;
+        }
         let gray = s ^ (s >> 1);
         let changed = gray ^ prev_gray;
         let col = changed.trailing_zeros() as usize;
@@ -172,7 +252,10 @@ fn ryser_range(rows: &[u64], n: usize, s_start: u64, s_end: u64) -> Option<i128>
                 break;
             }
             if checked {
-                prod = prod.checked_mul(rs as i128)?;
+                match prod.checked_mul(rs as i128) {
+                    Some(p) => prod = p,
+                    None => return Ok(None),
+                }
             } else {
                 prod *= rs as i128;
             }
@@ -180,11 +263,15 @@ fn ryser_range(rows: &[u64], n: usize, s_start: u64, s_end: u64) -> Option<i128>
         if prod != 0 {
             let popcnt = gray.count_ones() as usize;
             if checked {
-                total = if (n - popcnt).is_multiple_of(2) {
-                    total.checked_add(prod)?
+                let next = if (n - popcnt).is_multiple_of(2) {
+                    total.checked_add(prod)
                 } else {
-                    total.checked_sub(prod)?
+                    total.checked_sub(prod)
                 };
+                match next {
+                    Some(t) => total = t,
+                    None => return Ok(None),
+                }
             } else if (n - popcnt).is_multiple_of(2) {
                 total += prod;
             } else {
@@ -192,7 +279,7 @@ fn ryser_range(rows: &[u64], n: usize, s_start: u64, s_end: u64) -> Option<i128>
             }
         }
     }
-    Some(total)
+    Ok(Some(total))
 }
 
 #[inline]
@@ -354,23 +441,64 @@ mod tests {
         // Any split point of the walk must reproduce the full sum.
         let rows: Vec<u64> = vec![0b1011, 0b1110, 0b0111, 0b1101];
         let n = 4;
-        let full = ryser_range(&rows, n, 1, 16).unwrap();
+        let b0 = Budget::unlimited();
+        let full = ryser_range(&rows, n, 1, 16, &b0).unwrap().unwrap();
         for split in 2..16 {
-            let a = ryser_range(&rows, n, 1, split).unwrap();
-            let b = ryser_range(&rows, n, split, 16).unwrap();
+            let a = ryser_range(&rows, n, 1, split, &b0).unwrap().unwrap();
+            let b = ryser_range(&rows, n, split, 16, &b0).unwrap().unwrap();
             assert_eq!(a + b, full, "split at {split}");
         }
+    }
+
+    #[test]
+    fn budgeted_matches_legacy_across_thread_counts() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [12usize, 16, 18] {
+            let rows: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut r = 1u64 << i;
+                    for j in 0..n {
+                        if rng.gen_bool(0.4) {
+                            r |= 1 << j;
+                        }
+                    }
+                    r
+                })
+                .collect();
+            let legacy = try_permanent_of_rows_with_threads(&rows, n, 1);
+            for threads in 1..=8 {
+                let b = Budget::unlimited();
+                assert_eq!(
+                    try_permanent_of_rows_budgeted(&rows, n, threads, &b),
+                    Ok(legacy),
+                    "n={n}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_zero_budget_trips_before_work() {
+        let rows: Vec<u64> = (0..18).map(|i| (1u64 << i) | 1).collect();
+        let b = Budget::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            try_permanent_of_rows_budgeted(&rows, 18, 4, &b),
+            Err(ExecError::BudgetExceeded { budget_ms: 0 })
+        );
     }
 
     #[test]
     fn dense_overflow_near_the_cap_is_detected_not_wrapped() {
         // perm(J_27) = 27! fits u128 easily, but Ryser's signed
         // partial sums reach ~27^27 ≈ 4.4e38 > i128::MAX: the checked
-        // path must report overflow instead of wrapping. (The
-        // regression: the seed code wrapped silently here.)
-        let n = 27;
-        let rows = vec![mask(n); n];
-        assert_eq!(try_permanent_of_rows_with_threads(&rows, n, 1), None);
+        // path must report overflow instead of wrapping. The dense
+        // overflow walk itself (~10^8 subsets, the expensive part)
+        // now runs once in `exact::tests::
+        // dense_overflow_is_a_structured_error_not_a_panic`, which
+        // asserts the same `try_permanent` None through the audited
+        // structured-error caller; here we keep the cheap half.
 
         // A sparse graph at the same size stays exact: identity plus
         // one extra diagonal has permanent 1 (staircase argument) —

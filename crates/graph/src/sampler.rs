@@ -18,7 +18,9 @@
 use rand::Rng;
 
 use crate::dense::DenseBigraph;
+use crate::faults;
 use crate::grouped::{GroupedBigraph, Matching};
+use crate::par::{Budget, ExecError};
 
 /// Anything that can answer consistency queries `(left, right)`.
 ///
@@ -195,6 +197,9 @@ pub enum SamplerError {
     InconsistentSeed { left: usize, right: usize },
     /// The seed matching matches nothing (empty walk space).
     EmptySeed,
+    /// A budgeted run was interrupted: deadline, cancellation, or an
+    /// isolated worker panic.
+    Interrupted(ExecError),
 }
 
 impl std::fmt::Display for SamplerError {
@@ -204,6 +209,7 @@ impl std::fmt::Display for SamplerError {
                 write!(f, "seed matching edge ({left}', {right}) is inconsistent")
             }
             SamplerError::EmptySeed => write!(f, "seed matching is empty"),
+            SamplerError::Interrupted(e) => write!(f, "sampling interrupted: {e}"),
         }
     }
 }
@@ -245,6 +251,23 @@ pub fn sample_cracks<O: EdgeOracle, R: Rng + ?Sized>(
     config: &SamplerConfig,
     rng: &mut R,
 ) -> Result<CrackSamples, SamplerError> {
+    sample_cracks_core(oracle, seed, config, rng, &Budget::unlimited(), None)
+}
+
+/// Shared walk driver behind every sampling entry point: runs the
+/// epoch schedule under `budget` (polled once per epoch and every
+/// 1024 swap attempts inside [`Walk::run_swaps`]) and, when `hits`
+/// is provided, tallies per-item crack frequencies alongside the
+/// per-sample counts (`hits[i]` += 1 for every sample with item `i`
+/// cracked; `hits` must have length `oracle.n()`).
+fn sample_cracks_core<O: EdgeOracle, R: Rng + ?Sized>(
+    oracle: &O,
+    seed: &Matching,
+    config: &SamplerConfig,
+    rng: &mut R,
+    budget: &Budget,
+    mut hits: Option<&mut Vec<u64>>,
+) -> Result<CrackSamples, SamplerError> {
     let n = oracle.n();
     assert_eq!(seed.left_partner.len(), n, "seed size mismatch");
 
@@ -283,6 +306,7 @@ pub fn sample_cracks<O: EdgeOracle, R: Rng + ?Sized>(
 
     let mut counts = Vec::with_capacity(config.n_samples);
     'outer: loop {
+        budget.check().map_err(SamplerError::Interrupted)?;
         // (Re)seed.
         let mut partner: Vec<Option<usize>> = seed.left_partner.clone();
         let mut free_rights: Vec<usize> = (0..n)
@@ -297,10 +321,15 @@ pub fn sample_cracks<O: EdgeOracle, R: Rng + ?Sized>(
             locality: locality.as_ref(),
         };
 
-        walk.run_swaps(config.warmup_swaps, rng);
+        walk.run_swaps(config.warmup_swaps, rng, budget)
+            .map_err(SamplerError::Interrupted)?;
         for _ in 0..config.samples_per_seed {
-            walk.run_swaps(config.swaps_between_samples, rng);
+            walk.run_swaps(config.swaps_between_samples, rng, budget)
+                .map_err(SamplerError::Interrupted)?;
             counts.push(count_cracks(walk.partner));
+            if let Some(h) = hits.as_deref_mut() {
+                tally_cracks(walk.partner, h);
+            }
             if counts.len() >= config.n_samples {
                 break 'outer;
             }
@@ -384,12 +413,133 @@ pub fn sample_cracks_with_threads<O: EdgeOracle + Sync>(
     Ok(CrackSamples { counts })
 }
 
+/// Budgeted, fault-isolated [`sample_cracks_with_threads`]: the same
+/// batch sharding and per-batch seeding discipline (so with an
+/// unlimited budget and no fault schedule the sample stream is
+/// bit-identical to the legacy sharded sampler at every thread
+/// count), but each batch runs as a [`crate::par::try_map_indexed`]
+/// task carrying the `sampler.batch` fault probe, and the walk polls
+/// `budget` per epoch and every 1024 swap attempts.
+///
+/// # Errors
+///
+/// Seed errors as in [`sample_cracks`];
+/// [`SamplerError::Interrupted`] when the budget trips, the token
+/// fires, or an injected fault panics a batch.
+pub fn sample_cracks_budgeted<O: EdgeOracle + Sync>(
+    oracle: &O,
+    seed: &Matching,
+    config: &SamplerConfig,
+    rng_seed: u64,
+    threads: usize,
+    budget: &Budget,
+) -> Result<CrackSamples, SamplerError> {
+    let (samples, _hits) =
+        sample_cracks_budgeted_inner(oracle, seed, config, rng_seed, threads, budget, false)?;
+    Ok(samples)
+}
+
+/// Per-item crack probabilities estimated by the budgeted sampler:
+/// `out[i]` is the fraction of sampled matchings in which item `i`
+/// is cracked (mapped to itself). This is the sampler rung's answer
+/// to the same question the exact permanent answers via
+/// [`crate::exact::crack_probabilities`].
+///
+/// # Errors
+///
+/// Same conditions as [`sample_cracks_budgeted`].
+pub fn sample_crack_probabilities_budgeted<O: EdgeOracle + Sync>(
+    oracle: &O,
+    seed: &Matching,
+    config: &SamplerConfig,
+    rng_seed: u64,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Vec<f64>, SamplerError> {
+    let (samples, hits) =
+        sample_cracks_budgeted_inner(oracle, seed, config, rng_seed, threads, budget, true)?;
+    let total = samples.counts.len();
+    if total == 0 {
+        return Ok(vec![0.0; oracle.n()]);
+    }
+    Ok(hits.iter().map(|&h| h as f64 / total as f64).collect())
+}
+
+/// Shared batch fan-out for the budgeted samplers. Batch boundaries
+/// and per-batch RNG seeds depend only on `(config, rng_seed)`, so
+/// the concatenated stream (and the folded tallies, when `tally`)
+/// never depend on the worker count.
+fn sample_cracks_budgeted_inner<O: EdgeOracle + Sync>(
+    oracle: &O,
+    seed: &Matching,
+    config: &SamplerConfig,
+    rng_seed: u64,
+    threads: usize,
+    budget: &Budget,
+    tally: bool,
+) -> Result<(CrackSamples, Vec<u64>), SamplerError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert!(
+        config.samples_per_seed >= 1,
+        "samples_per_seed must be >= 1"
+    );
+    let n = oracle.n();
+    let per_batch = config.samples_per_seed;
+    let n_batches = config.n_samples.div_ceil(per_batch);
+    if n_batches == 0 {
+        return Ok((CrackSamples { counts: Vec::new() }, vec![0; n]));
+    }
+
+    let results = crate::par::try_map_indexed(threads, n_batches, budget, |b| {
+        faults::probe("sampler.batch", b);
+        let batch_len = per_batch.min(config.n_samples - b * per_batch);
+        let batch_config = SamplerConfig {
+            n_samples: batch_len,
+            ..*config
+        };
+        let mut rng = StdRng::seed_from_u64(rng_seed.wrapping_add(b as u64));
+        let mut batch_hits = if tally { Some(vec![0u64; n]) } else { None };
+        let samples = sample_cracks_core(
+            oracle,
+            seed,
+            &batch_config,
+            &mut rng,
+            budget,
+            batch_hits.as_mut(),
+        )?;
+        Ok((samples, batch_hits.unwrap_or_default()))
+    })
+    .map_err(SamplerError::Interrupted)?;
+
+    let mut counts = Vec::with_capacity(config.n_samples);
+    let mut hits = vec![0u64; n];
+    for result in results {
+        let (samples, batch_hits): (CrackSamples, Vec<u64>) = result?;
+        counts.extend(samples.counts);
+        for (acc, h) in hits.iter_mut().zip(batch_hits) {
+            *acc += h;
+        }
+    }
+    Ok((CrackSamples { counts }, hits))
+}
+
 fn count_cracks(partner: &[Option<usize>]) -> usize {
     partner
         .iter()
         .enumerate()
         .filter(|&(i, p)| *p == Some(i))
         .count()
+}
+
+/// Adds each cracked item of one sample into the per-item tallies.
+fn tally_cracks(partner: &[Option<usize>], hits: &mut [u64]) {
+    for (i, p) in partner.iter().enumerate() {
+        if *p == Some(i) {
+            hits[i] += 1;
+        }
+    }
 }
 
 /// Half-width of the locality proposal window (in positions along
@@ -408,20 +558,31 @@ struct Walk<'a, O: EdgeOracle> {
 }
 
 impl<O: EdgeOracle> Walk<'_, O> {
-    /// Executes `budget` swap attempts. Each attempt draws a pair
-    /// `(i, j)` of matched items — `i` uniform; `j` uniform half the
-    /// time and from a window around `i` in the frequency order
-    /// otherwise (when the oracle provides one) — and swaps their
-    /// partners if both new edges are consistent. The paper's
-    /// uniform-permutation sweep is the special case without
-    /// locality; mixing the two keeps the chain irreducible wherever
-    /// the uniform kernel was, while the local moves let items in
-    /// small frequency groups actually find their rare consistent
-    /// peers.
-    fn run_swaps<R: Rng + ?Sized>(&mut self, budget: usize, rng: &mut R) {
+    /// Executes `swaps` swap attempts, polling `budget` every 1024.
+    /// Each attempt draws a pair `(i, j)` of matched items — `i`
+    /// uniform; `j` uniform half the time and from a window around
+    /// `i` in the frequency order otherwise (when the oracle provides
+    /// one) — and swaps their partners if both new edges are
+    /// consistent. The paper's uniform-permutation sweep is the
+    /// special case without locality; mixing the two keeps the chain
+    /// irreducible wherever the uniform kernel was, while the local
+    /// moves let items in small frequency groups actually find their
+    /// rare consistent peers.
+    fn run_swaps<R: Rng + ?Sized>(
+        &mut self,
+        swaps: usize,
+        rng: &mut R,
+        budget: &Budget,
+    ) -> Result<(), ExecError> {
         let k = self.active.len();
-        let mut remaining = budget;
+        let mut remaining = swaps;
+        let mut since_poll = 0u32;
         while remaining > 0 {
+            since_poll += 1;
+            if since_poll >= 1024 {
+                since_poll = 0;
+                budget.check()?;
+            }
             remaining -= 1;
             let i = self.active[rng.gen_range(0..k)];
             let j = match self.locality {
@@ -455,6 +616,7 @@ impl<O: EdgeOracle> Walk<'_, O> {
                 self.try_relocate(i, rng);
             }
         }
+        Ok(())
     }
 
     /// Swaps the partners of active lefts `i` and `j` if both new
@@ -672,6 +834,49 @@ mod tests {
         };
         let s = sample_cracks_with_threads(&g, &Matching::identity(4), &config, 5, 3).unwrap();
         assert_eq!(s.counts.len(), 150);
+    }
+
+    #[test]
+    fn budgeted_matches_legacy_sharded_stream() {
+        // Unlimited budget, no fault schedule: the budgeted sampler
+        // must reproduce the legacy sharded stream bit for bit, at
+        // every thread count.
+        let g = DenseBigraph::complete(6);
+        let seed = Matching::identity(6);
+        let config = SamplerConfig::quick();
+        let legacy = sample_cracks_with_threads(&g, &seed, &config, 99, 1).unwrap();
+        for threads in 1..=8 {
+            let b = Budget::unlimited();
+            let s = sample_cracks_budgeted(&g, &seed, &config, 99, threads, &b).unwrap();
+            assert_eq!(s.counts, legacy.counts, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_zero_budget_is_interrupted() {
+        let g = DenseBigraph::complete(6);
+        let b = Budget::with_deadline(std::time::Duration::ZERO);
+        let err =
+            sample_cracks_budgeted(&g, &Matching::identity(6), &quick(), 1, 4, &b).unwrap_err();
+        assert_eq!(
+            err,
+            SamplerError::Interrupted(ExecError::BudgetExceeded { budget_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn per_item_probabilities_sum_to_mean() {
+        // Linearity: E[X] = Σ_i P(item i cracked), and the tallies
+        // come from exactly the samples in `counts`.
+        let g = DenseBigraph::complete(6);
+        let seed = Matching::identity(6);
+        let config = SamplerConfig::quick();
+        let b = Budget::unlimited();
+        let s = sample_cracks_budgeted(&g, &seed, &config, 7, 3, &b).unwrap();
+        let probs = sample_crack_probabilities_budgeted(&g, &seed, &config, 7, 3, &b).unwrap();
+        assert_eq!(probs.len(), 6);
+        let total: f64 = probs.iter().sum();
+        assert!((total - s.mean()).abs() < 1e-12, "{total} vs {}", s.mean());
     }
 
     #[test]

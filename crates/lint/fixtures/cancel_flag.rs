@@ -1,0 +1,54 @@
+//! Negative fixture for `cancel-blind-loop`: long hot-path loops
+//! that never poll the budget or cancel token.
+
+/// A Gray-code-style walk with a big body and no poll anywhere: the
+/// budget layer can never interrupt it.
+pub fn blind_walk(rows: &[u64], n: u32, s_start: u64, s_end: u64) -> i128 {
+    let mut total: i128 = 0;
+    let mut row_sums = vec![0i128; rows.len()];
+    let mut subset: u64 = 0;
+    for s in s_start..s_end {
+        let gray = s ^ (s >> 1);
+        let flipped = (gray ^ subset).trailing_zeros();
+        subset = gray;
+        let sign = if subset.count_ones() % 2 == 0 { 1 } else { -1 };
+        let mut product: i128 = 1;
+        for (i, &row) in rows.iter().enumerate() {
+            let bit = (row >> flipped) & 1;
+            row_sums[i] += bit as i128;
+            if row_sums[i] == 0 {
+                product = 0;
+            } else {
+                product = product.saturating_mul(row_sums[i]);
+            }
+        }
+        let weight = (n as i128) + (flipped as i128);
+        total = total.saturating_add(sign * product * weight);
+        total = total.rotate_left(1).rotate_right(1);
+    }
+    total
+}
+
+/// A `while` retry loop that can spin for a long time unpolled.
+pub fn blind_retry(mut state: u64, target: u64) -> u64 {
+    let mut steps = 0u64;
+    while state != target {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state = state.wrapping_mul(0x2545F4914F6CDD1D);
+        let bucket = (state % 1024) as usize;
+        let weight = bucket.saturating_mul(3) + 7;
+        let folded = (state >> 32) ^ (state & 0xFFFF_FFFF);
+        state = state.wrapping_add(folded.wrapping_mul(weight as u64));
+        state = state.rotate_left((bucket % 63) as u32 + 1);
+        state ^= state >> 11;
+        state = state.wrapping_sub(weight as u64);
+        state ^= folded.rotate_right(9);
+        steps = steps.wrapping_add(1);
+        if steps > 1_000_000_000 {
+            state = target;
+        }
+    }
+    state
+}

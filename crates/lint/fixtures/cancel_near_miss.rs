@@ -1,0 +1,72 @@
+//! Near-miss fixture for `cancel-blind-loop`: loops that must NOT
+//! flag — a long loop that polls the budget, a long loop sitting at a
+//! fault probe, and a short pollless fold.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn check(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn probe(_point: &str, _index: usize) {}
+
+/// Long body, but polls the budget every 8192 steps: cancellable.
+pub fn polled_walk(rows: &[u64], s_start: u64, s_end: u64, budget: &Budget) -> Result<i128, ()> {
+    let mut total: i128 = 0;
+    let mut row_sums = vec![0i128; rows.len()];
+    let mut subset: u64 = 0;
+    for s in s_start..s_end {
+        if s & 8191 == 0 {
+            budget.check()?;
+        }
+        let gray = s ^ (s >> 1);
+        let flipped = (gray ^ subset).trailing_zeros();
+        subset = gray;
+        let sign = if subset.count_ones() % 2 == 0 { 1 } else { -1 };
+        let mut product: i128 = 1;
+        for (i, &row) in rows.iter().enumerate() {
+            let bit = (row >> flipped) & 1;
+            row_sums[i] += bit as i128;
+            if row_sums[i] == 0 {
+                product = 0;
+            } else {
+                product = product.saturating_mul(row_sums[i]);
+            }
+        }
+        total = total.saturating_add(sign * product);
+        total = total.rotate_left(1).rotate_right(1);
+    }
+    Ok(total)
+}
+
+/// Long body, but each iteration is a fault-probe point — it runs as
+/// a budgeted task, so the pool polls between iterations.
+pub fn probed_batches(batches: usize, rows: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for b in 0..batches {
+        probe("fixture.batch", b);
+        let mut local = 0u64;
+        for &row in rows {
+            let spread = row ^ (row >> 3) ^ (row << 2);
+            let bucket = (spread % 64) as u32;
+            local = local.wrapping_add(spread.rotate_left(bucket));
+            local ^= local >> 7;
+            local = local.wrapping_mul(0x9E3779B97F4A7C15);
+        }
+        acc = acc.wrapping_add(local.rotate_left((b % 63) as u32));
+        acc ^= acc >> 11;
+        acc = acc.wrapping_add(0xA076_1D64_78BD_642F);
+    }
+    acc
+}
+
+/// Short fold: pollless, but well under the long-loop threshold.
+pub fn short_fold(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in values {
+        acc += v * v;
+    }
+    acc
+}

@@ -16,6 +16,7 @@
 //! | `seed-provenance` | no RNG seed fed from a nondeterministic source |
 //! | `float-merge-order` | no float merge whose grouping tracks the thread count |
 //! | `result-discard` | no `Result` from a fallible core fn silently dropped |
+//! | `cancel-blind-loop` | no long hot-path loop that never polls the budget/cancel token |
 //!
 //! Token matchers are heuristics over the token stream (there is no
 //! type information), tuned to the idioms of this workspace: they
@@ -71,7 +72,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "wallclock-in-core",
         summary: "Instant/SystemTime outside crates/bench",
-        scope: "everything except crates/bench",
+        scope: "everything except crates/bench and crates/graph/src/par.rs (the Budget clock)",
     },
     RuleInfo {
         name: "unseeded-rng",
@@ -81,7 +82,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "thread-spawn-outside-par",
         summary: "raw std::thread/crossbeam use outside andi_graph::par",
-        scope: "everything except crates/graph/src/par.rs",
+        scope: "everything except crates/graph/src/{par,faults}.rs",
     },
     RuleInfo {
         name: "panic-reachability",
@@ -102,6 +103,11 @@ pub const RULES: &[RuleInfo] = &[
         name: "result-discard",
         summary: "Result of a fallible workspace fn silently discarded",
         scope: "crates/{core,graph,mining,data}/src",
+    },
+    RuleInfo {
+        name: "cancel-blind-loop",
+        summary: "long hot-path loop that never polls the budget/cancel token or a fault probe",
+        scope: "crates/graph/src/{permanent,sampler}.rs, crates/core/src/recipe.rs",
     },
     RuleInfo {
         name: "invalid-pragma",
@@ -155,14 +161,22 @@ pub fn run_rules(path: &str, tokens: &[Token], is_test: &[bool]) -> Vec<Finding>
         nondet_iteration(path, tokens, is_test, &mut findings);
         lib_unwrap(path, tokens, is_test, &mut findings);
     }
-    if !path.starts_with("crates/bench/") {
+    // par.rs hosts the Budget deadline clock — the one sanctioned
+    // Instant in library code (results never depend on it: a deadline
+    // only turns an answer into a structured BudgetExceeded).
+    if !path.starts_with("crates/bench/") && path != "crates/graph/src/par.rs" {
         wallclock(path, tokens, is_test, &mut findings);
     }
     if path.starts_with("crates/core/src/") || path.starts_with("crates/graph/src/") {
         unseeded_rng(path, tokens, is_test, &mut findings);
     }
-    if path != "crates/graph/src/par.rs" {
+    // faults.rs injects delays via std::thread::sleep on the current
+    // worker; it never spawns.
+    if path != "crates/graph/src/par.rs" && path != "crates/graph/src/faults.rs" {
         thread_spawn(path, tokens, is_test, &mut findings);
+    }
+    if CANCEL_SCOPED.contains(&path) {
+        cancel_blind_loop(path, tokens, is_test, &mut findings);
     }
     findings
 }
@@ -281,6 +295,104 @@ fn thread_spawn(path: &str, tokens: &[Token], is_test: &[bool], out: &mut Vec<Fi
             ));
         }
     }
+}
+
+/// The files whose hot loops carry the budgeted-execution contract:
+/// every long loop must poll the `Budget`/`CancelToken` (or sit at a
+/// fault probe point, which implies a budgeted task boundary).
+const CANCEL_SCOPED: &[&str] = &[
+    "crates/graph/src/permanent.rs",
+    "crates/graph/src/sampler.rs",
+    "crates/core/src/recipe.rs",
+];
+
+/// A loop body longer than this many tokens counts as "long" — big
+/// enough to clear every tight fold/update loop in the scoped files,
+/// small enough that an unpolled Gray-code walk or swap loop cannot
+/// hide.
+const LONG_LOOP_TOKENS: usize = 80;
+
+/// Identifiers that witness a cancellation/budget poll (or a fault
+/// probe, which only exists inside budgeted task bodies).
+const POLL_IDENTS: &[&str] = &["check", "probe", "is_cancelled", "poll"];
+
+/// `cancel-blind-loop`: a `for`/`while`/`loop` body in a scoped
+/// hot-path file that exceeds [`LONG_LOOP_TOKENS`] tokens without any
+/// [`POLL_IDENTS`] call — new heavy loops must stay cancellable (see
+/// CONTRIBUTING.md).
+fn cancel_blind_loop(path: &str, tokens: &[Token], is_test: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if is_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let body_open = match t.text.as_str() {
+            "loop" => tokens
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('{'))
+                .then_some(i + 1),
+            "while" => loop_body_open(tokens, i),
+            "for" => for_loop_expr(tokens, i).map(|(_, brace)| brace),
+            _ => None,
+        };
+        let Some(open) = body_open else { continue };
+        let Some(close) = matching_brace(tokens, open) else {
+            continue;
+        };
+        let body = &tokens[open + 1..close];
+        if body.len() <= LONG_LOOP_TOKENS {
+            continue;
+        }
+        if body
+            .iter()
+            .any(|b| b.kind == TokenKind::Ident && POLL_IDENTS.contains(&b.text.as_str()))
+        {
+            continue;
+        }
+        out.push(finding(
+            path,
+            t,
+            "cancel-blind-loop",
+            format!(
+                "long `{}` body ({} tokens) never polls the budget or cancel token; \
+                 call budget.check()? (or run inside a budgeted task) so deadlines \
+                 and cancellation keep working",
+                t.text,
+                body.len()
+            ),
+        ));
+    }
+}
+
+/// For a `while` keyword at `i`, the index of the body `{` (the first
+/// brace outside any parens/brackets in the condition).
+fn loop_body_open(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(i + 1).take(200) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// For an opening `{` at `open`, the index of its matching `}`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
 }
 
 /// Whether tokens `i+1..=i+3` spell `::<seg>`.

@@ -248,6 +248,55 @@ fn result_discard_flags_and_near_miss() {
     assert!(ok.is_empty(), "handled Results must stay clean, got {ok:?}");
 }
 
+#[test]
+fn cancel_blind_loop_flags_and_near_miss() {
+    // The rule is scoped to the budgeted hot-path files by exact
+    // path, so the fixtures lint under those virtual names.
+    let bad = lint_fixture("cancel_flag.rs", "crates/graph/src/permanent.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "cancel-blind-loop").count(),
+        2,
+        "the pollless for-walk and while-retry must both flag, got {bad:?}"
+    );
+
+    // A budget.check() poll, a fault-probe task boundary, or a short
+    // body all neutralize the rule.
+    let ok = lint_fixture("cancel_near_miss.rs", "crates/core/src/recipe.rs");
+    assert!(
+        rules_of(&ok).iter().all(|r| *r != "cancel-blind-loop"),
+        "near-miss must stay clean, got {ok:?}"
+    );
+
+    // Out of scope: the same blind loops elsewhere in the graph crate
+    // are not budgeted hot paths.
+    let out_of_scope = lint_fixture("cancel_flag.rs", "crates/graph/src/other.rs");
+    assert!(rules_of(&out_of_scope)
+        .iter()
+        .all(|r| *r != "cancel-blind-loop"));
+}
+
+#[test]
+fn budget_layer_scope_exemptions() {
+    // par.rs hosts the Budget deadline clock: Instant is sanctioned
+    // there (and only there, outside crates/bench).
+    let par = lint_fixture("wallclock_flag.rs", "crates/graph/src/par.rs");
+    assert!(
+        rules_of(&par).iter().all(|r| *r != "wallclock-in-core"),
+        "par.rs may read the clock, got {par:?}"
+    );
+
+    // faults.rs injects delays via std::thread::sleep; the
+    // thread-spawn rule must not fire there.
+    let faults = lint_fixture("thread_flag.rs", "crates/graph/src/faults.rs");
+    assert!(
+        rules_of(&faults)
+            .iter()
+            .all(|r| *r != "thread-spawn-outside-par"),
+        "faults.rs may sleep, got {faults:?}"
+    );
+}
+
 /// Two runs over differently-ordered file lists must produce
 /// byte-identical JSON: findings are sorted by
 /// `(path, line, column, rule)`, not by walk order.

@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! andi stats <file.dat>                      dataset summary (Figure 9 row)
-//! andi assess <file.dat> [--tau T] [--no-propagation]
-//!                                            the Assess-Risk recipe (Figure 8)
+//! andi assess <file.dat> [--tau T] [--no-propagation] [--budget-ms N]
+//!                                            the Assess-Risk recipe (Figure 8);
+//!                                            with a budget the estimate degrades
+//!                                            exact -> sampler -> O-estimate and
+//!                                            the exit code is 3 when degraded
 //! andi advise <file.dat> [--tau T]           which items to withhold to pass
 //! andi portfolio <file.dat> [--min-support N] [--tau T]
 //!                                            full/sample/rounded/suppressed scorecard
@@ -22,14 +25,16 @@
 
 use std::process::ExitCode;
 
+use andi::core::assess_risk_budgeted;
 use andi::core::report::TextTable;
 use andi::core::similarity::{GapPolicy, SimilarityConfig};
 use andi::data::fimi;
 use andi::data::DatasetSummary;
+use andi::graph::Budget;
 use andi::mining::{generate_rules, Algorithm};
 use andi::{
     assess_risk, similarity_by_sampling, AnonymizationMapping, BeliefFunction, Database,
-    OutdegreeProfile, RecipeConfig, RiskDecision,
+    OutdegreeProfile, RecipeConfig, RiskAssessment, RiskDecision,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +42,7 @@ use rand::SeedableRng;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -47,35 +52,43 @@ fn main() -> ExitCode {
     }
 }
 
+/// Exit code for a budgeted assessment whose answer came from a rung
+/// below exact-permanent: the run *succeeded*, but scripts must be
+/// able to tell a degraded figure from an exact one.
+const EXIT_DEGRADED: u8 = 3;
+
 const USAGE: &str = "usage:
   andi stats <file.dat>
-  andi assess <file.dat> [--tau T] [--no-propagation]
+  andi assess <file.dat> [--tau T] [--no-propagation] [--budget-ms N]
   andi advise <file.dat> [--tau T]
   andi portfolio <file.dat> [--min-support N] [--tau T]
   andi oe <file.dat> [--delta D] [--exact]
   andi similarity <file.dat> [--fractions 0.1,0.25,0.5]
   andi anonymize <in.dat> <out.dat> [--seed S] [--mapping map.txt]
   andi mine <file.dat> --min-support N [--algo apriori|fpgrowth|eclat] [--rules C]
-  andi demo";
+  andi demo
 
-fn run(args: &[String]) -> Result<(), String> {
+exit codes: 0 success, 1 error, 3 budgeted assessment answered by a
+degraded rung (see the provenance lines)";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("no command given".into());
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "stats" => cmd_stats(rest),
+        "stats" => cmd_stats(rest).map(|()| ExitCode::SUCCESS),
         "assess" => cmd_assess(rest),
-        "advise" => cmd_advise(rest),
-        "portfolio" => cmd_portfolio(rest),
-        "oe" => cmd_oe(rest),
-        "similarity" => cmd_similarity(rest),
-        "anonymize" => cmd_anonymize(rest),
-        "mine" => cmd_mine(rest),
-        "demo" => cmd_demo(),
+        "advise" => cmd_advise(rest).map(|()| ExitCode::SUCCESS),
+        "portfolio" => cmd_portfolio(rest).map(|()| ExitCode::SUCCESS),
+        "oe" => cmd_oe(rest).map(|()| ExitCode::SUCCESS),
+        "similarity" => cmd_similarity(rest).map(|()| ExitCode::SUCCESS),
+        "anonymize" => cmd_anonymize(rest).map(|()| ExitCode::SUCCESS),
+        "mine" => cmd_mine(rest).map(|()| ExitCode::SUCCESS),
+        "demo" => cmd_demo().map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -125,7 +138,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_assess(args: &[String]) -> Result<(), String> {
+fn cmd_assess(args: &[String]) -> Result<ExitCode, String> {
     let db = load(positional(args, 0, "file.dat")?)?;
     let tau: f64 = match option(args, "--tau") {
         Some(t) => parse(&t, "--tau")?,
@@ -136,9 +149,29 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
         use_propagation: !flag(args, "--no-propagation"),
         ..RecipeConfig::default()
     };
-    let verdict = assess_risk(&db.supports(), db.n_transactions() as u64, &config)
-        .map_err(|e| e.to_string())?;
+    let supports = db.supports();
+    let m = db.n_transactions() as u64;
 
+    if let Some(ms) = option(args, "--budget-ms") {
+        let ms: u64 = parse(&ms, "--budget-ms")?;
+        let budget = Budget::with_deadline(std::time::Duration::from_millis(ms));
+        let result =
+            assess_risk_budgeted(&supports, m, &config, &budget).map_err(|e| e.to_string())?;
+        print_assessment(&result.assessment, tau);
+        print!("{}", result.provenance.render());
+        return Ok(if result.is_degraded() {
+            ExitCode::from(EXIT_DEGRADED)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    let verdict = assess_risk(&supports, m, &config).map_err(|e| e.to_string())?;
+    print_assessment(&verdict, tau);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_assessment(verdict: &RiskAssessment, tau: f64) {
     println!("domain size n           : {}", verdict.n_items);
     println!("tolerance tau           : {}", verdict.tolerance);
     println!(
@@ -154,7 +187,7 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
         "full-compliance OE      : {:.2}",
         verdict.full_compliance_oe
     );
-    match verdict.decision {
+    match &verdict.decision {
         RiskDecision::DiscloseAtPointValued => {
             println!("verdict                 : DISCLOSE (safe even against exact frequencies)")
         }
@@ -175,7 +208,6 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {

@@ -97,6 +97,49 @@ fn assess_produces_a_verdict() {
 }
 
 #[test]
+fn assess_with_budget_reports_provenance_and_exit_codes() {
+    let dir = temp_dir("assess-budget");
+    let file = bigmart_file(&dir);
+
+    // A generous budget answers on the exact rung: exit 0, and the
+    // provenance names the rung that produced the numbers.
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--tau",
+        "0.1",
+        "--budget-ms",
+        "60000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("answered by exact-permanent (exact)"),
+        "got:\n{text}"
+    );
+
+    // A zero budget trips every rung above the O-estimate floor: the
+    // verdict still prints, but the run exits with the degraded code.
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--tau",
+        "0.1",
+        "--budget-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("answered by o-estimate (degraded)"),
+        "got:\n{text}"
+    );
+    assert!(text.contains("exact-permanent tripped"), "got:\n{text}");
+    assert!(text.contains("matching-sampler tripped"), "got:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn oe_with_exact_estimator() {
     let dir = temp_dir("oe");
     let file = bigmart_file(&dir);
