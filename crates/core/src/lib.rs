@@ -90,8 +90,8 @@ pub use powerset::{assess_powerset_risk, ItemsetBelief, PowersetBelief, Powerset
 pub use recipe::{
     assess_risk, assess_risk_budgeted, assess_risk_budgeted_with_threads, compliancy_curve,
     compliancy_curve_decoy, compliancy_curve_decoy_with_threads, compliancy_curve_probs,
-    compliancy_curve_probs_with_threads, compliant_count, BudgetedAssessment, CompliancyPoint,
-    RecipeConfig, RiskAssessment, RiskDecision,
+    compliancy_curve_probs_with_threads, compliant_count, ladder_crack_probabilities,
+    BudgetedAssessment, CompliancyPoint, RecipeConfig, RiskAssessment, RiskDecision,
 };
 pub use relational::{
     assess_relational_risk, AnonymizedRelation, AttrValue, Constraint, Knowledge, RelationalRisk,

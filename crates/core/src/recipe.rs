@@ -477,6 +477,42 @@ pub fn assess_risk_budgeted_with_threads(
     })
 }
 
+/// Runs the degradation ladder directly on a caller-supplied belief
+/// graph, returning the answering rung's per-item crack
+/// probabilities together with the full [`Provenance`] record.
+///
+/// This is the ladder of [`assess_risk_budgeted`] detached from the
+/// Figure 8 pipeline: the caller keeps control of the belief (it
+/// need not be the `δ_med`-widened compliant one), which makes every
+/// rung — including the [`Error::EmptyMappingSpace`] abort — directly
+/// reachable. The conformance oracle and the `andi assess --belief`
+/// CLI path drive it this way.
+///
+/// # Errors
+///
+/// [`Error::EmptyMappingSpace`] when the exact rung proves there is
+/// no consistent matching; [`Error::Cancelled`] when the budget's
+/// cancel token fires.
+pub fn ladder_crack_probabilities(
+    graph: &andi_graph::GroupedBigraph,
+    config: &RecipeConfig,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Provenance, Vec<f64>)> {
+    let mut trips: Vec<(Rung, Error)> = Vec::new();
+    let (rung, probs) = ladder_probabilities(graph, config, threads, budget, &mut trips)?;
+    Ok((
+        Provenance {
+            rung,
+            degraded: rung != Rung::Exact,
+            trips,
+            budget_ms: budget.limit_ms(),
+            spent_ms: budget.spent().as_millis(),
+        },
+        probs,
+    ))
+}
+
 /// Walks the degradation ladder top-down and returns the first rung
 /// that produced per-item crack probabilities, recording every trip.
 ///

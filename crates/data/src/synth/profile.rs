@@ -94,7 +94,7 @@ impl AnalogSpec {
     /// more singletons than groups, or a span that does not fit in
     /// `(0, 1)`).
     pub fn synthesize_supports<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
-        self.validate();
+        self.assert_consistent();
         let g = self.n_groups;
         let m = self.n_transactions;
 
@@ -214,7 +214,7 @@ impl AnalogSpec {
         sizes
     }
 
-    fn validate(&self) {
+    fn assert_consistent(&self) {
         assert!(self.n_groups >= 1, "{}: need at least one group", self.name);
         assert!(
             self.n_groups <= self.n_items,

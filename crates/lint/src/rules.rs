@@ -131,6 +131,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/graph/src/",
     "crates/mining/src/",
     "crates/data/src/",
+    "crates/oracle/src/",
 ];
 
 pub(crate) fn in_lib_crate(path: &str) -> bool {

@@ -1,0 +1,65 @@
+//! Error type of the conformance oracle.
+
+use std::fmt;
+
+/// Errors raised by the oracle's parsing, generation, and estimator
+/// plumbing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OracleError {
+    /// The corpus text or a CLI argument failed to parse.
+    Parse(String),
+    /// An instance violates a structural invariant.
+    Invalid(String),
+    /// An estimator was asked about an instance outside its domain.
+    NotApplicable(&'static str),
+    /// A core-layer failure bubbled through an estimator.
+    Core(andi_core::Error),
+    /// A filesystem failure while reading or writing corpus files.
+    Io(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Parse(msg) => write!(f, "parse error: {msg}"),
+            OracleError::Invalid(msg) => write!(f, "invalid instance: {msg}"),
+            OracleError::NotApplicable(name) => {
+                write!(f, "estimator {name} does not apply to this instance")
+            }
+            OracleError::Core(e) => write!(f, "core error: {e}"),
+            OracleError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<andi_core::Error> for OracleError {
+    fn from(e: andi_core::Error) -> Self {
+        OracleError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(OracleError::Parse("x".into()).to_string().contains("x"));
+        assert!(OracleError::Invalid("y".into()).to_string().contains("y"));
+        assert!(OracleError::NotApplicable("perm")
+            .to_string()
+            .contains("perm"));
+        assert!(OracleError::Core(andi_core::Error::EmptyMappingSpace)
+            .to_string()
+            .contains("empty"));
+        assert!(OracleError::Io("z".into()).to_string().contains("z"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: OracleError = andi_core::Error::EmptyMappingSpace.into();
+        assert_eq!(e, OracleError::Core(andi_core::Error::EmptyMappingSpace));
+    }
+}

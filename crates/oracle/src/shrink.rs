@@ -1,0 +1,206 @@
+//! Greedy instance minimization. Given a failing instance and a
+//! predicate that re-runs the failing check, the shrinker applies
+//! three reduction passes until none makes progress:
+//!
+//! 1. **drop items** — remove one item (support + interval + mask
+//!    bit); strictly decreases `n`.
+//! 2. **merge frequency groups** — overwrite a larger support with a
+//!    smaller one already present, collapsing two groups into one;
+//!    strictly decreases `Σ supports` at constant `n`.
+//! 3. **tighten intervals** — replace a non-degenerate interval with
+//!    the point at the item's true frequency; strictly decreases the
+//!    total interval width at constant `n` and `Σ supports`.
+//!
+//! Each pass only keeps a candidate if it is still a *valid*
+//! instance and the predicate still fails, so the result is always a
+//! reproducible failing instance no larger than the input. The
+//! three measures are lexicographic, which bounds the total number
+//! of accepted steps and guarantees termination.
+
+use crate::instance::Instance;
+
+/// Minimizes `inst` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` must return `true` for `inst` itself for the result
+/// to be meaningful (the shrinker never re-checks the input); it is
+/// called only on validated candidates.
+pub fn shrink<F>(inst: &Instance, still_fails: F) -> Instance
+where
+    F: Fn(&Instance) -> bool,
+{
+    let mut current = inst.clone();
+    loop {
+        let mut progressed = false;
+        while let Some(next) = drop_one_item(&current, &still_fails) {
+            current = next;
+            progressed = true;
+        }
+        while let Some(next) = merge_one_group(&current, &still_fails) {
+            current = next;
+            progressed = true;
+        }
+        while let Some(next) = tighten_one_interval(&current, &still_fails) {
+            current = next;
+            progressed = true;
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+fn accept<F>(candidate: Instance, still_fails: &F) -> Option<Instance>
+where
+    F: Fn(&Instance) -> bool,
+{
+    if candidate.validate().is_ok() && still_fails(&candidate) {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+/// Tries removing each item in turn; returns the first accepted
+/// reduction.
+fn drop_one_item<F>(inst: &Instance, still_fails: &F) -> Option<Instance>
+where
+    F: Fn(&Instance) -> bool,
+{
+    if inst.n() <= 1 {
+        return None;
+    }
+    for i in 0..inst.n() {
+        let mut c = inst.clone();
+        c.supports.remove(i);
+        c.intervals.remove(i);
+        if let Some(mask) = c.mask.as_mut() {
+            mask.remove(i);
+        }
+        if let Some(ok) = accept(c, still_fails) {
+            return Some(ok);
+        }
+    }
+    None
+}
+
+/// Tries collapsing two distinct supports by rewriting every copy of
+/// the larger one to the smaller one. This merges the two frequency
+/// groups and strictly decreases `Σ supports`.
+fn merge_one_group<F>(inst: &Instance, still_fails: &F) -> Option<Instance>
+where
+    F: Fn(&Instance) -> bool,
+{
+    let mut distinct: Vec<u64> = inst.supports.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() < 2 {
+        return None;
+    }
+    for w in distinct.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let mut c = inst.clone();
+        for s in c.supports.iter_mut() {
+            if *s == hi {
+                *s = lo;
+            }
+        }
+        if let Some(ok) = accept(c, still_fails) {
+            return Some(ok);
+        }
+    }
+    None
+}
+
+/// Tries replacing one non-degenerate interval with the point at the
+/// item's true frequency.
+fn tighten_one_interval<F>(inst: &Instance, still_fails: &F) -> Option<Instance>
+where
+    F: Fn(&Instance) -> bool,
+{
+    let freqs = inst.frequencies();
+    for (i, &f) in freqs.iter().enumerate() {
+        let (l, r) = inst.intervals[i];
+        if l == r {
+            continue;
+        }
+        let mut c = inst.clone();
+        c.intervals[i] = (f, f);
+        if let Some(ok) = accept(c, still_fails) {
+            return Some(ok);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Regime;
+
+    fn wide_instance(n: usize) -> Instance {
+        Instance {
+            label: "shrink-test".into(),
+            regime: Regime::Ignorant,
+            supports: (1..=n as u64).collect(),
+            m: 100,
+            intervals: vec![(0.0, 1.0); n],
+            mask: None,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_smallest_failing_size() {
+        // "Fails" whenever n >= 3: the shrinker should land on n = 3.
+        let small = shrink(&wide_instance(9), |i| i.n() >= 3);
+        assert_eq!(small.n(), 3);
+        assert!(small.validate().is_ok());
+    }
+
+    #[test]
+    fn merges_frequency_groups() {
+        // Dropping is blocked (predicate pins n = 4), so the merge
+        // pass collapses all four frequency groups into the smallest.
+        let small = shrink(&wide_instance(4), |i| i.n() == 4);
+        assert_eq!(small.supports, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn unconstrained_failures_reduce_to_one_item() {
+        let small = shrink(&wide_instance(4), |_| true);
+        assert_eq!(small.n(), 1);
+    }
+
+    #[test]
+    fn tightens_intervals_when_dropping_is_blocked() {
+        // "Fails" only while n stays at 4 and at least one interval
+        // is wide: tightening stops when the last wide one would go.
+        let inst = wide_instance(4);
+        let small = shrink(&inst, |i| {
+            i.n() == 4 && i.intervals.iter().any(|&(l, r)| r - l >= 1.0)
+        });
+        assert_eq!(small.n(), 4);
+        let wide = small
+            .intervals
+            .iter()
+            .filter(|&&(l, r)| r - l >= 1.0)
+            .count();
+        assert_eq!(wide, 1, "exactly one wide interval must survive");
+    }
+
+    #[test]
+    fn never_returns_a_larger_instance() {
+        let inst = wide_instance(6);
+        let out = shrink(&inst, |i| i.n() >= 2);
+        assert!(out.n() <= inst.n());
+        assert!(out.supports.iter().sum::<u64>() <= inst.supports.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn respects_masks_when_dropping() {
+        let mut inst = wide_instance(5);
+        inst.mask = Some(vec![true, false, true, false, true]);
+        let out = shrink(&inst, |i| i.n() >= 2);
+        assert_eq!(out.n(), 2);
+        assert_eq!(out.mask.as_ref().map(Vec::len), Some(2));
+    }
+}

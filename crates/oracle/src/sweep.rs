@@ -1,0 +1,151 @@
+//! The differential sweep: generate stratified instances, run the
+//! full check battery on each, and minimize whatever fails.
+
+use crate::checks::{check_instance, CheckConfig, Violation};
+use crate::error::OracleError;
+use crate::generate::generate;
+use crate::instance::{json_string, Instance, Regime};
+use crate::shrink::shrink;
+
+/// One confirmed conformance failure, minimized for reporting.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The generated instance that first exposed the problem.
+    pub instance: Instance,
+    /// The shrinker's minimized reproduction.
+    pub shrunk: Instance,
+    /// What went wrong (first violation, or the engine error).
+    pub problem: String,
+}
+
+/// Aggregate result of a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOutcome {
+    /// Instances generated and checked.
+    pub checked: usize,
+    /// Names of checks exercised at least once.
+    pub checks_run: Vec<String>,
+    /// Confirmed failures, one per failing instance.
+    pub failures: Vec<Failure>,
+}
+
+impl SweepOutcome {
+    /// Whether every instance passed every applicable check.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the outcome as a single JSON document.
+    pub fn to_json(&self, seed: u64, count: u64, regimes: &[Regime]) -> String {
+        let regime_names: Vec<String> = regimes
+            .iter()
+            .map(|r| format!("\"{}\"", r.name()))
+            .collect();
+        let checks: Vec<String> = self.checks_run.iter().map(|c| json_string(c)).collect();
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"label\":{},\"regime\":\"{}\",\"problem\":{},\"shrunk_n\":{},\"shrunk\":{}}}",
+                    json_string(&f.instance.label),
+                    f.instance.regime.name(),
+                    json_string(&f.problem),
+                    f.shrunk.n(),
+                    json_string(&f.shrunk.to_text()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seed\":{seed},\"count\":{count},\"regimes\":[{}],\"checked\":{},\"checks_run\":[{}],\"clean\":{},\"failures\":[{}]}}",
+            regime_names.join(","),
+            self.checked,
+            checks.join(","),
+            self.is_clean(),
+            failures.join(",")
+        )
+    }
+}
+
+/// How an instance fares under the battery: `None` if clean,
+/// otherwise a description of the first problem.
+fn first_problem(inst: &Instance, cfg: &CheckConfig) -> Option<String> {
+    match check_instance(inst, cfg) {
+        Ok(report) => report.violations.first().map(|v: &Violation| v.to_string()),
+        Err(OracleError::Invalid(_)) => None, // shrink candidates only
+        Err(e) => Some(format!("engine error: {e}")),
+    }
+}
+
+/// Runs `count` instances of each regime under `(seed, cfg)`,
+/// shrinking every failure. The sweep itself never errors: engine
+/// errors on a generated instance are conformance failures.
+pub fn run_sweep(seed: u64, count: u64, regimes: &[Regime], cfg: &CheckConfig) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    for &regime in regimes {
+        for index in 0..count {
+            let inst = generate(seed, index, regime);
+            outcome.checked += 1;
+            match check_instance(&inst, cfg) {
+                Ok(report) => {
+                    for name in report.checks_run {
+                        if !outcome.checks_run.contains(&name) {
+                            outcome.checks_run.push(name);
+                        }
+                    }
+                    if let Some(v) = report.violations.first() {
+                        let problem = v.to_string();
+                        let shrunk = shrink(&inst, |c| first_problem(c, cfg).is_some());
+                        outcome.failures.push(Failure {
+                            instance: inst,
+                            shrunk,
+                            problem,
+                        });
+                    }
+                }
+                Err(e) => {
+                    let shrunk = shrink(&inst, |c| first_problem(c, cfg).is_some());
+                    outcome.failures.push(Failure {
+                        instance: inst,
+                        shrunk,
+                        problem: format!("engine error: {e}"),
+                    });
+                }
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_clean_across_regimes() {
+        let cfg = CheckConfig::default();
+        let outcome = run_sweep(7, 4, &Regime::ALL, &cfg);
+        assert_eq!(outcome.checked, 24);
+        assert!(
+            outcome.is_clean(),
+            "failures: {:?}",
+            outcome
+                .failures
+                .iter()
+                .map(|f| (&f.instance.label, &f.problem))
+                .collect::<Vec<_>>()
+        );
+        assert!(outcome.checks_run.iter().any(|c| c.contains("permanent")));
+        let json = outcome.to_json(7, 4, &Regime::ALL);
+        assert!(json.contains("\"clean\":true"), "{json}");
+        assert!(json.contains("\"checked\":24"), "{json}");
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let cfg = CheckConfig::default();
+        let a = run_sweep(3, 3, &[Regime::Chain], &cfg).to_json(3, 3, &[Regime::Chain]);
+        let b = run_sweep(3, 3, &[Regime::Chain], &cfg).to_json(3, 3, &[Regime::Chain]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end fault-injection drill: a scratch copy of the Lemma 3
+//! closed form with a deliberate off-by-one must be caught by the
+//! differential comparison and minimized by the shrinker to a
+//! handful of items, and the minimized instance must survive a
+//! corpus round-trip so it can be committed as a regression case.
+
+use andi_data::FrequencyGroups;
+use andi_oracle::estimators::{Estimate, Estimator, Permanent};
+use andi_oracle::{corpus, generate, shrink, Confidence, Instance, OracleError, Regime};
+
+/// A scratch reimplementation of `point_valued_expected_cracks`
+/// (Lemma 3: each frequency group contributes exactly one expected
+/// crack, `n_j * 1/n_j`) with an injected off-by-one in the
+/// per-group outdegree: `n_j * 1/(n_j + 1)`.
+struct OffByOneClosedForm;
+
+impl Estimator for OffByOneClosedForm {
+    fn name(&self) -> &'static str {
+        "off-by-one-closed-form"
+    }
+
+    fn applies_to(&self, inst: &Instance) -> bool {
+        let freqs = inst.frequencies();
+        inst.validate().is_ok()
+            && inst
+                .intervals
+                .iter()
+                .zip(freqs.iter())
+                .all(|(&(l, r), &f)| l == r && l == f)
+    }
+
+    fn estimate(&self, inst: &Instance) -> Result<Estimate, OracleError> {
+        let groups = FrequencyGroups::from_supports(&inst.supports, inst.m);
+        let value = groups
+            .sizes()
+            .iter()
+            .map(|&n_j| n_j as f64 / (n_j + 1) as f64)
+            .sum();
+        Ok(Estimate {
+            value,
+            confidence: Confidence::Exact,
+        })
+    }
+}
+
+/// The differential predicate: the buggy closed form disagrees with
+/// the exact permanent on this instance.
+fn disagrees(inst: &Instance) -> bool {
+    let exact = Permanent::default();
+    if !OffByOneClosedForm.applies_to(inst) || !exact.applies_to(inst) {
+        return false;
+    }
+    match (OffByOneClosedForm.estimate(inst), exact.estimate(inst)) {
+        (Ok(buggy), Ok(truth)) => (buggy.value - truth.value).abs() > 1e-6,
+        _ => false,
+    }
+}
+
+#[test]
+fn injected_off_by_one_is_caught_and_shrunk() {
+    // Sweep-generated point-compliant instances expose the bug
+    // immediately: Lemma 3 says g cracks, the scratch copy says
+    // strictly less on every group.
+    let seed = 7;
+    let failing: Vec<Instance> = (0..8)
+        .map(|i| generate(seed, i, Regime::PointCompliant))
+        .filter(disagrees)
+        .collect();
+    assert!(
+        !failing.is_empty(),
+        "the differential predicate must catch the injected bug"
+    );
+
+    for inst in failing {
+        let original_n = inst.n();
+        let small = shrink(&inst, disagrees);
+        // The shrinker keeps the failure alive while minimizing.
+        assert!(disagrees(&small), "shrunk instance must still fail");
+        assert!(small.n() <= original_n);
+        assert!(
+            small.n() <= 6,
+            "{}: shrunk to {} items, want <= 6",
+            inst.label,
+            small.n()
+        );
+        assert!(small.validate().is_ok());
+    }
+}
+
+#[test]
+fn shrunk_failure_round_trips_through_the_corpus() {
+    let inst = generate(7, 0, Regime::PointCompliant);
+    assert!(disagrees(&inst));
+    let mut small = shrink(&inst, disagrees);
+    small.label = "shrunk:off-by-one-demo".into();
+
+    let dir = std::env::temp_dir().join(format!("andi-oracle-shrunk-{}", std::process::id()));
+    let path = corpus::save(&dir, &small).unwrap();
+    let back = corpus::load(&path).unwrap();
+    assert_eq!(back, small);
+    assert!(disagrees(&back), "replayed instance must still fail");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,10 +6,14 @@
 //! ```text
 //! andi stats <file.dat>                      dataset summary (Figure 9 row)
 //! andi assess <file.dat> [--tau T] [--no-propagation] [--budget-ms N]
+//!             [--belief inst.txt] [--provenance-json out.json]
 //!                                            the Assess-Risk recipe (Figure 8);
 //!                                            with a budget the estimate degrades
 //!                                            exact -> sampler -> O-estimate and
-//!                                            the exit code is 3 when degraded
+//!                                            the exit code is 3 when degraded;
+//!                                            --belief runs the ladder under the
+//!                                            hacker belief of an oracle instance
+//!                                            file instead of the recipe's own
 //! andi advise <file.dat> [--tau T]           which items to withhold to pass
 //! andi portfolio <file.dat> [--min-support N] [--tau T]
 //!                                            full/sample/rounded/suppressed scorecard
@@ -60,6 +64,7 @@ const EXIT_DEGRADED: u8 = 3;
 const USAGE: &str = "usage:
   andi stats <file.dat>
   andi assess <file.dat> [--tau T] [--no-propagation] [--budget-ms N]
+              [--belief inst.txt] [--provenance-json out.json]
   andi advise <file.dat> [--tau T]
   andi portfolio <file.dat> [--min-support N] [--tau T]
   andi oe <file.dat> [--delta D] [--exact]
@@ -152,6 +157,10 @@ fn cmd_assess(args: &[String]) -> Result<ExitCode, String> {
     let supports = db.supports();
     let m = db.n_transactions() as u64;
 
+    if let Some(inst_path) = option(args, "--belief") {
+        return assess_with_belief(args, &supports, m, &config, &inst_path);
+    }
+
     if let Some(ms) = option(args, "--budget-ms") {
         let ms: u64 = parse(&ms, "--budget-ms")?;
         let budget = Budget::with_deadline(std::time::Duration::from_millis(ms));
@@ -159,6 +168,7 @@ fn cmd_assess(args: &[String]) -> Result<ExitCode, String> {
             assess_risk_budgeted(&supports, m, &config, &budget).map_err(|e| e.to_string())?;
         print_assessment(&result.assessment, tau);
         print!("{}", result.provenance.render());
+        write_provenance_json(args, &result.provenance)?;
         return Ok(if result.is_degraded() {
             ExitCode::from(EXIT_DEGRADED)
         } else {
@@ -169,6 +179,72 @@ fn cmd_assess(args: &[String]) -> Result<ExitCode, String> {
     let verdict = assess_risk(&supports, m, &config).map_err(|e| e.to_string())?;
     print_assessment(&verdict, tau);
     Ok(ExitCode::SUCCESS)
+}
+
+/// Writes the provenance record as JSON when `--provenance-json` was
+/// given (the format round-trips through `andi_oracle::serial`).
+fn write_provenance_json(
+    args: &[String],
+    provenance: &andi::core::Provenance,
+) -> Result<(), String> {
+    if let Some(path) = option(args, "--provenance-json") {
+        let json = andi_oracle::provenance_to_json(provenance);
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote provenance JSON to {path}");
+    }
+    Ok(())
+}
+
+/// `assess --belief`: run the degradation ladder under the hacker
+/// belief of an oracle instance file (its intervals, against this
+/// database's supports) instead of the recipe's own widened belief.
+/// Unlike the recipe path, an inconsistent belief makes the
+/// [`EmptyMappingSpace`](andi::core::Error::EmptyMappingSpace) abort
+/// reachable from the command line.
+fn assess_with_belief(
+    args: &[String],
+    supports: &[u64],
+    m: u64,
+    config: &RecipeConfig,
+    inst_path: &str,
+) -> Result<ExitCode, String> {
+    let inst =
+        andi_oracle::corpus::load(std::path::Path::new(inst_path)).map_err(|e| e.to_string())?;
+    if inst.n() != supports.len() {
+        return Err(format!(
+            "belief instance has {} items but the database has {}",
+            inst.n(),
+            supports.len()
+        ));
+    }
+    let belief =
+        BeliefFunction::from_intervals(inst.intervals.clone()).map_err(|e| e.to_string())?;
+    let graph = belief.build_graph(supports, m);
+    let budget = match option(args, "--budget-ms") {
+        Some(ms) => {
+            let ms: u64 = parse(&ms, "--budget-ms")?;
+            Budget::with_deadline(std::time::Duration::from_millis(ms))
+        }
+        None => Budget::unlimited(),
+    };
+    let (provenance, probs) = andi::core::ladder_crack_probabilities(
+        &graph,
+        config,
+        andi::graph::par::available_threads(),
+        &budget,
+    )
+    .map_err(|e| e.to_string())?;
+    let expected: f64 = probs.iter().sum();
+    println!("belief instance         : {}", inst.label);
+    println!("domain size n           : {}", supports.len());
+    println!("expected cracks         : {expected:.4}");
+    print!("{}", provenance.render());
+    write_provenance_json(args, &provenance)?;
+    Ok(if provenance.degraded {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn print_assessment(verdict: &RiskAssessment, tau: f64) {

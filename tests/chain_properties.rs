@@ -1,0 +1,163 @@
+//! Property tests for the chain closed forms: Lemma 5 (length-2
+//! chains) and Lemma 6 (length-k chains) must agree with the exact
+//! per-item crack marginals on every realizable chain with n <= 9
+//! items, including the k = 1 and k = n boundary chains.
+//!
+//! Chains are built by walking the item-conservation recurrence —
+//! group i holds `e_i` exclusive items, the tail of the shared group
+//! `S_{i-1}` and the head of `S_i` — so every generated spec is
+//! structurally consistent by construction, and the oracle's
+//! instance types carry them into the same estimators the
+//! conformance sweeps use.
+
+use andi::ChainSpec;
+use andi_oracle::estimators::{crack_probabilities_of, ClosedForm, OEstimate};
+use andi_oracle::{Estimator, Instance, Regime};
+use proptest::prelude::*;
+
+/// Builds a consistent chain over `sizes` by walking the
+/// conservation recurrence, using `picks` in [0, 1] to drive every
+/// free choice (how much of each group feeds the next shared group).
+fn build_chain(sizes: &[usize], picks: &[f64]) -> Option<ChainSpec> {
+    let k = sizes.len();
+    let mut e = Vec::with_capacity(k);
+    let mut s = Vec::with_capacity(k.saturating_sub(1));
+    let mut v_prev = 0usize; // items of S_{i-1} placed in group i
+    let mut pick = picks.iter().cycle();
+    for i in 0..k {
+        let remaining = sizes[i].checked_sub(v_prev)?;
+        if i + 1 == k {
+            e.push(remaining);
+            break;
+        }
+        // u_i of the remaining items start the shared group S_i.
+        let u = (pick.next()? * (remaining + 1) as f64).floor() as usize;
+        let u = u.min(remaining);
+        e.push(remaining - u);
+        // v_i items of S_i land in group i+1.
+        let v = (pick.next()? * (sizes[i + 1] + 1) as f64).floor() as usize;
+        let v = v.min(sizes[i + 1]);
+        s.push(u + v);
+        v_prev = v;
+    }
+    ChainSpec::new(sizes.to_vec(), e, s).ok()
+}
+
+/// Realizes a chain spec as an oracle instance over `m`
+/// transactions.
+fn realized(spec: &ChainSpec, m: u64) -> Instance {
+    let (supports, belief) = spec.realize(m).expect("small chains realize");
+    Instance {
+        label: "prop:chain".into(),
+        regime: Regime::Chain,
+        supports,
+        m,
+        intervals: belief.intervals().to_vec(),
+        mask: None,
+    }
+}
+
+/// Asserts the closed forms against the exact marginals: Lemma 5/6
+/// for the expectation, the Section 5.2 formula for the O-estimate.
+fn assert_chain_conforms(spec: &ChainSpec) {
+    let inst = realized(spec, 100);
+    let exact: f64 = crack_probabilities_of(&inst)
+        .expect("realized chains are feasible")
+        .iter()
+        .sum();
+    assert!(
+        (exact - spec.expected_cracks()).abs() < 1e-9,
+        "closed form {} vs marginal sum {exact} (k = {}, n = {})",
+        spec.expected_cracks(),
+        spec.k(),
+        spec.n_items()
+    );
+    let plain = OEstimate { propagated: false }.estimate(&inst).unwrap();
+    assert!(
+        (plain.value - spec.oestimate()).abs() < 1e-9,
+        "chain OE formula {} vs graph OE {} (k = {})",
+        spec.oestimate(),
+        plain.value,
+        spec.k()
+    );
+    // The closed-form estimator re-detects the chain from the graph.
+    assert!(ClosedForm.applies_to(&inst), "chain must be detectable");
+    let closed = ClosedForm.estimate(&inst).unwrap();
+    assert!((closed.value - spec.expected_cracks()).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 6 on random chains of length 1..=4 with n <= 9 items.
+    #[test]
+    fn lemma_6_matches_marginals_on_random_chains(
+        sizes in prop::collection::vec(1usize..=3, 1..=4),
+        picks in prop::collection::vec(0.0f64..=1.0, 8),
+    ) {
+        let spec = build_chain(&sizes, &picks);
+        prop_assume!(spec.is_some());
+        let spec = spec.unwrap();
+        prop_assume!(spec.n_items() <= 9);
+        assert_chain_conforms(&spec);
+    }
+
+    /// Lemma 5: every length-2 chain — two groups, one shared set —
+    /// agrees with the exact marginals.
+    #[test]
+    fn lemma_5_matches_marginals_on_length_2_chains(
+        n1 in 1usize..=4, n2 in 1usize..=4,
+        picks in prop::collection::vec(0.0f64..=1.0, 2),
+    ) {
+        let spec = build_chain(&[n1, n2], &picks);
+        prop_assume!(spec.is_some());
+        let spec = spec.unwrap();
+        prop_assert_eq!(spec.k(), 2);
+        assert_chain_conforms(&spec);
+    }
+
+    /// The k = n boundary: every group is a singleton, so the walk
+    /// produces maximal-length chains of alternating shared links.
+    #[test]
+    fn k_equals_n_boundary_chains_conform(
+        n in 1usize..=9,
+        picks in prop::collection::vec(0.0f64..=1.0, 16),
+    ) {
+        let spec = build_chain(&vec![1; n], &picks);
+        prop_assume!(spec.is_some());
+        let spec = spec.unwrap();
+        prop_assert_eq!(spec.k(), n);
+        assert_chain_conforms(&spec);
+    }
+}
+
+/// The k = 1 boundary: a chain of one group is a single frequency
+/// group, whose expectation is exactly one crack for every size
+/// (Lemma 6 degenerates to Lemma 3 with g = 1).
+#[test]
+fn k_equals_1_boundary_chains_conform() {
+    for n in 1..=9 {
+        let spec = ChainSpec::new(vec![n], vec![n], vec![]).unwrap();
+        assert_eq!(spec.k(), 1);
+        assert!(
+            (spec.expected_cracks() - 1.0).abs() < 1e-12,
+            "one group of {n} expects one crack"
+        );
+        assert_chain_conforms(&spec);
+    }
+}
+
+/// A deterministic fully-shared k = n chain: each singleton group
+/// hands one shared item to the next link.
+#[test]
+fn fully_shared_singleton_chain_conforms() {
+    for n in 2..=9 {
+        let mut e = vec![0; n - 1];
+        e.push(1);
+        let s = vec![1; n - 1];
+        let spec = ChainSpec::new(vec![1; n], e, s).unwrap();
+        assert_eq!(spec.k(), n);
+        assert_eq!(spec.n_items(), n);
+        assert_chain_conforms(&spec);
+    }
+}

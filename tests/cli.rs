@@ -264,3 +264,167 @@ fn missing_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("nope.dat"));
 }
+
+/// Writes a FIMI file of 4 identical transactions over 31 items, so
+/// every item has support 4 and the domain exceeds the
+/// exact-permanent cap of 30.
+fn wide_file(dir: &std::path::Path) -> PathBuf {
+    let row: Vec<String> = (1..=31).map(|i| i.to_string()).collect();
+    let row = row.join(" ");
+    let text = format!("{row}\n{row}\n{row}\n{row}\n");
+    let path = dir.join("wide.dat");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// Writes an ignorant 31-item belief instance matching [`wide_file`]
+/// in the oracle's instance format.
+fn wide_ignorant_instance(dir: &std::path::Path) -> PathBuf {
+    let inst = andi_oracle::Instance {
+        label: "cli:wide-ignorant".into(),
+        regime: andi_oracle::Regime::Ignorant,
+        supports: vec![4; 31],
+        m: 4,
+        intervals: vec![(0.0, 1.0); 31],
+        mask: None,
+    };
+    let path = dir.join("wide-ignorant.txt");
+    std::fs::write(&path, inst.to_text()).unwrap();
+    path
+}
+
+#[test]
+fn assess_belief_degrades_to_sampler_above_the_permanent_cap() {
+    let dir = temp_dir("belief-sampler");
+    let file = wide_file(&dir);
+    let inst = wide_ignorant_instance(&dir);
+    let json = dir.join("prov.json");
+
+    // 31 items exceed the exact-permanent cap, so the ladder answers
+    // on the sampler rung: degraded exit code, one recorded trip.
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--belief",
+        inst.to_str().unwrap(),
+        "--provenance-json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("answered by matching-sampler (degraded)"),
+        "got:\n{text}"
+    );
+    assert!(text.contains("exact-permanent tripped"), "got:\n{text}");
+
+    // The provenance JSON round-trips through the oracle's parser.
+    let raw = std::fs::read_to_string(&json).unwrap();
+    let prov = andi_oracle::provenance_from_json(&raw).unwrap();
+    assert_eq!(prov.rung, andi::Rung::Sampler);
+    assert!(prov.degraded);
+    assert_eq!(prov.trips.len(), 1);
+    assert_eq!(prov.trips[0].0, andi::Rung::Exact);
+    assert_eq!(andi_oracle::provenance_to_json(&prov), raw.trim_end());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn assess_belief_degrades_to_oestimate_on_a_zero_budget() {
+    let dir = temp_dir("belief-oe");
+    let file = wide_file(&dir);
+    let inst = wide_ignorant_instance(&dir);
+    let json = dir.join("prov.json");
+
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--belief",
+        inst.to_str().unwrap(),
+        "--budget-ms",
+        "0",
+        "--provenance-json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("answered by o-estimate (degraded)"),
+        "got:\n{text}"
+    );
+    assert!(text.contains("exact-permanent tripped"), "got:\n{text}");
+    assert!(text.contains("matching-sampler tripped"), "got:\n{text}");
+
+    let raw = std::fs::read_to_string(&json).unwrap();
+    let prov = andi_oracle::provenance_from_json(&raw).unwrap();
+    assert_eq!(prov.rung, andi::Rung::OEstimate);
+    assert!(prov.degraded);
+    assert_eq!(prov.trips.len(), 2);
+    assert_eq!(prov.budget_ms, Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn assess_belief_rejects_an_empty_mapping_space() {
+    let dir = temp_dir("belief-empty");
+    let file = bigmart_file(&dir);
+
+    // Two point believers both claim the singleton frequency-3 group:
+    // no consistent crack mapping exists.
+    let inst = andi_oracle::Instance {
+        label: "cli:bigmart-infeasible".into(),
+        regime: andi_oracle::Regime::NearDegenerate,
+        supports: vec![5, 4, 5, 5, 3, 5],
+        m: 10,
+        intervals: vec![
+            (0.5, 0.5),
+            (0.3, 0.3),
+            (0.5, 0.5),
+            (0.5, 0.5),
+            (0.3, 0.3),
+            (0.5, 0.5),
+        ],
+        mask: None,
+    };
+    let inst_path = dir.join("infeasible.txt");
+    std::fs::write(&inst_path, inst.to_text()).unwrap();
+
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--belief",
+        inst_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stderr(&out).contains("mappings is empty"),
+        "got: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn assess_budget_writes_provenance_json() {
+    let dir = temp_dir("assess-prov-json");
+    let file = bigmart_file(&dir);
+    let json = dir.join("prov.json");
+
+    let out = andi(&[
+        "assess",
+        file.to_str().unwrap(),
+        "--tau",
+        "0.1",
+        "--budget-ms",
+        "60000",
+        "--provenance-json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let raw = std::fs::read_to_string(&json).unwrap();
+    let prov = andi_oracle::provenance_from_json(&raw).unwrap();
+    assert_eq!(prov.rung, andi::Rung::Exact);
+    assert!(!prov.degraded);
+    assert!(prov.trips.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,15 +1,33 @@
 //! Property-based consistency tests across the estimator stack:
 //! exact permanents, closed-form lemmas, O-estimates and the MCMC
 //! sampler must agree wherever their domains overlap.
+//!
+//! Randomized inputs are expressed as [`andi_oracle::Instance`]
+//! values and evaluated through the oracle's [`Estimator`] surface,
+//! so these properties exercise exactly the objects the conformance
+//! sweeps and the committed corpus replay.
 
-use andi::graph::sampler::SamplerConfig;
 use andi::graph::{expected_cracks, sample_cracks, Matching};
 use andi::{BeliefFunction, ChainSpec, OutdegreeProfile};
+use andi_oracle::estimators::{crack_probabilities_of, ClosedForm, OEstimate, Permanent};
+use andi_oracle::{Estimator, Instance, Regime};
 use proptest::prelude::*;
 
 /// Strategy: a small support profile over m = 100 transactions.
 fn small_profile() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(1u64..100, 2..9)
+}
+
+/// Wraps supports + intervals as an oracle instance over m = 100.
+fn instance(supports: Vec<u64>, intervals: Vec<(f64, f64)>) -> Instance {
+    Instance {
+        label: "prop:estimator-consistency".into(),
+        regime: Regime::AlphaCompliant,
+        supports,
+        m: 100,
+        intervals,
+        mask: None,
+    }
 }
 
 /// Strategy: a compliant interval belief for the given supports —
@@ -26,31 +44,34 @@ fn compliant_belief(supports: &[u64]) -> impl Strategy<Value = Vec<(f64, f64)>> 
     })
 }
 
+/// Strategy: a compliant instance over m = 100.
+fn compliant_instance() -> impl Strategy<Value = Instance> {
+    small_profile().prop_flat_map(|s| {
+        let b = compliant_belief(&s);
+        (Just(s), b).prop_map(|(supports, intervals)| instance(supports, intervals))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Plain OE is a lower bound refined by propagation, and both
-    /// stay within [0, n]; the exact expectation also lies between
-    /// the certain-crack count and n.
+    /// Plain OE is refined by propagation on compliant beliefs, and
+    /// both stay within [0, n]; the exact expectation also lies
+    /// between the certain-crack count and n.
     #[test]
-    fn oe_bounds_hold(
-        (supports, intervals) in small_profile().prop_flat_map(|s| {
-            let b = compliant_belief(&s);
-            (Just(s), b)
-        })
-    ) {
-        let belief = BeliefFunction::from_intervals(intervals).unwrap();
-        let graph = belief.build_graph(&supports, 100);
-        let n = supports.len() as f64;
-
-        let plain = OutdegreeProfile::plain(&graph).oestimate();
-        let prop_profile = OutdegreeProfile::propagated(&graph).unwrap();
-        let propagated = prop_profile.oestimate();
+    fn oe_bounds_hold(inst in compliant_instance()) {
+        let n = inst.n() as f64;
+        let plain = OEstimate { propagated: false }.estimate(&inst).unwrap().value;
+        let propagated = OEstimate { propagated: true }.estimate(&inst).unwrap().value;
         prop_assert!(plain >= 0.0 && plain <= n + 1e-9);
         prop_assert!(propagated + 1e-9 >= plain, "propagation sharpens: {propagated} < {plain}");
 
-        let exact = expected_cracks(&graph.to_dense()).expect("compliant is feasible");
+        let exact: f64 = crack_probabilities_of(&inst)
+            .expect("compliant is feasible")
+            .iter()
+            .sum();
         prop_assert!(exact <= n + 1e-9);
+        let prop_profile = OutdegreeProfile::propagated(&inst.graph().unwrap()).unwrap();
         prop_assert!(
             exact + 1e-9 >= prop_profile.forced_cracks() as f64,
             "certain cracks lower-bound the expectation"
@@ -65,8 +86,11 @@ proptest! {
         let narrow = BeliefFunction::widened(&freqs, 0.02).unwrap();
         let wide = BeliefFunction::widened(&freqs, 0.02 + extra).unwrap();
         prop_assert!(narrow.refines(&wide));
-        let oe_n = andi::oestimate(&narrow, &supports, 100);
-        let oe_w = andi::oestimate(&wide, &supports, 100);
+        let inst_n = instance(supports.clone(), narrow.intervals().to_vec());
+        let inst_w = instance(supports, wide.intervals().to_vec());
+        let est = OEstimate { propagated: false };
+        let oe_n = est.estimate(&inst_n).unwrap().value;
+        let oe_w = est.estimate(&inst_w).unwrap().value;
         prop_assert!(oe_n + 1e-9 >= oe_w, "{oe_n} < {oe_w}");
     }
 
@@ -78,24 +102,28 @@ proptest! {
         use rand::SeedableRng;
         let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
         let belief = BeliefFunction::widened(&freqs, 0.05).unwrap();
-        let graph = belief.build_graph(&supports, 100);
-        let profile = OutdegreeProfile::plain(&graph);
-        let n = supports.len();
+        let mut inst = instance(supports, belief.intervals().to_vec());
+        let n = inst.n();
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let est = OEstimate { propagated: false };
+        let whole = est.estimate(&inst).unwrap().value;
         let mut mask = vec![false; n];
         let mut prev = 0.0;
         for &x in &order {
             mask[x] = true;
-            let oe = profile.oestimate_masked(&mask).unwrap();
+            inst.mask = Some(mask.clone());
+            let oe = est.estimate(&inst).unwrap().value;
             prop_assert!(oe + 1e-12 >= prev, "masked OE must grow with the compliant set");
             prev = oe;
         }
-        prop_assert!((prev - profile.oestimate()).abs() < 1e-9);
+        prop_assert!((prev - whole).abs() < 1e-9);
     }
 
     /// The Lemma 6 chain closed form agrees with the exact
-    /// permanent computation on every realizable small chain.
+    /// permanent computation on every realizable small chain, with
+    /// the oracle's ClosedForm estimator re-detecting the chain from
+    /// the realized instance.
     #[test]
     fn chain_formula_matches_permanent(
         n1 in 1usize..4, n2 in 1usize..4, n3 in 1usize..4,
@@ -120,13 +148,21 @@ proptest! {
         prop_assume!(chain.n_items() <= 10);
 
         let (supports, belief) = chain.realize(100).unwrap();
-        let dense = belief.build_graph(&supports, 100).to_dense();
-        let exact = expected_cracks(&dense).expect("compliant chains are feasible");
+        let inst = Instance {
+            regime: Regime::Chain,
+            ..instance(supports, belief.intervals().to_vec())
+        };
+        let exact = Permanent { cap: 10 }.estimate(&inst).unwrap().value;
         prop_assert!(
             (exact - chain.expected_cracks()).abs() < 1e-9,
             "Lemma 6 gives {}, permanent gives {exact}",
             chain.expected_cracks()
         );
+        // ClosedForm re-detects the chain from the graph and lands
+        // on the same number.
+        prop_assert!(ClosedForm.applies_to(&inst));
+        let closed = ClosedForm.estimate(&inst).unwrap().value;
+        prop_assert!((closed - exact).abs() < 1e-9);
     }
 
     /// The grouped and dense graphs always agree on outdegrees, and
@@ -135,7 +171,8 @@ proptest! {
     fn grouped_dense_agreement(supports in small_profile()) {
         let freqs: Vec<f64> = supports.iter().map(|&s| s as f64 / 100.0).collect();
         let belief = BeliefFunction::widened(&freqs, 0.07).unwrap();
-        let graph = belief.build_graph(&supports, 100);
+        let inst = instance(supports.clone(), belief.intervals().to_vec());
+        let graph = inst.graph().unwrap();
         let dense = graph.to_dense();
         prop_assert_eq!(graph.outdegrees(), dense.right_degrees());
         prop_assert_eq!(graph.n_edges(), dense.n_edges());
@@ -155,18 +192,11 @@ proptest! {
     /// on each block's standalone subgraph equal the marginals of the
     /// whole graph.
     #[test]
-    fn identified_blocks_localize_marginals(
-        (supports, intervals) in small_profile().prop_flat_map(|s| {
-            let b = compliant_belief(&s);
-            (Just(s), b)
-        })
-    ) {
-        use andi::graph::crack_probabilities;
-        let belief = BeliefFunction::from_intervals(intervals).unwrap();
-        let graph = belief.build_graph(&supports, 100);
+    fn identified_blocks_localize_marginals(inst in compliant_instance()) {
+        let graph = inst.graph().unwrap();
         let id = andi::identify_sets(&graph);
         prop_assume!(!id.blocks.is_empty());
-        let whole = crack_probabilities(&graph.to_dense()).expect("compliant");
+        let whole = crack_probabilities_of(&inst).expect("compliant");
 
         for block in &id.blocks {
             // Tightness: for compliant beliefs in aligned indexing,
@@ -175,19 +205,24 @@ proptest! {
             anon_sorted.sort_unstable();
             prop_assert_eq!(&anon_sorted, &block.original_items);
 
-            // Build the block's standalone subgraph (re-indexed).
-            let sub_supports: Vec<u64> = block
-                .original_items
-                .iter()
-                .map(|&i| supports[i])
-                .collect();
-            let sub_intervals: Vec<(f64, f64)> = block
-                .original_items
-                .iter()
-                .map(|&y| belief.interval(y))
-                .collect();
-            let sub = andi::graph::GroupedBigraph::new(&sub_supports, 100, &sub_intervals);
-            let local = crack_probabilities(&sub.to_dense()).expect("block is feasible");
+            // The block's standalone sub-instance (re-indexed).
+            let sub = Instance {
+                label: "prop:block".into(),
+                regime: inst.regime,
+                supports: block
+                    .original_items
+                    .iter()
+                    .map(|&i| inst.supports[i])
+                    .collect(),
+                m: inst.m,
+                intervals: block
+                    .original_items
+                    .iter()
+                    .map(|&y| inst.intervals[y])
+                    .collect(),
+                mask: None,
+            };
+            let local = crack_probabilities_of(&sub).expect("block is feasible");
             for (k, &y) in block.original_items.iter().enumerate() {
                 prop_assert!(
                     (whole[y] - local[k]).abs() < 1e-9,
@@ -205,6 +240,7 @@ proptest! {
 /// statistical contract the paper's Figure 10 relies on).
 #[test]
 fn sampler_tracks_exact_on_random_instances() {
+    use andi::graph::sampler::SamplerConfig;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(99);

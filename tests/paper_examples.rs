@@ -2,30 +2,26 @@
 //!
 //! Each test cites the section it reproduces; together they are the
 //! ground-truth anchor for the whole pipeline (data -> belief ->
-//! graph -> estimate).
+//! graph -> estimate). The instances come from
+//! [`andi_oracle::cases`], so every hand-written example here is the
+//! same object that lives in the committed conformance corpus and is
+//! replayed by the oracle's sweeps.
 
-use andi::core::{point_valued_expected_cracks, ItemStatus};
-use andi::graph::{crack_probabilities, expected_cracks, permanent};
-use andi::{bigmart, BeliefFunction, ChainSpec, FrequencyGroups, OutdegreeProfile};
+use andi::core::ItemStatus;
+use andi::graph::permanent;
+use andi::{bigmart, ChainSpec, FrequencyGroups, OutdegreeProfile};
+use andi_oracle::estimators::{crack_probabilities_of, ClosedForm, OEstimate, Permanent};
+use andi_oracle::{cases, Confidence, Estimator};
 
-const BIGMART_SUPPORTS: [u64; 6] = [5, 4, 5, 5, 3, 5];
-const M: u64 = 10;
-
-fn bigmart_freqs() -> Vec<f64> {
-    BIGMART_SUPPORTS.iter().map(|&s| s as f64 / 10.0).collect()
-}
-
-/// The belief function `h` of Figure 2 (0-based item ids).
-fn belief_h() -> BeliefFunction {
-    BeliefFunction::from_intervals(vec![
-        (0.0, 1.0),
-        (0.4, 0.5),
-        (0.5, 0.5),
-        (0.4, 0.6),
-        (0.1, 0.4),
-        (0.5, 0.5),
-    ])
-    .unwrap()
+/// Evaluates one estimator, asserting it applies to the instance.
+fn value_of(est: &dyn Estimator, inst: &andi_oracle::Instance) -> f64 {
+    assert!(
+        est.applies_to(inst),
+        "{} must apply to {}",
+        est.name(),
+        inst.label
+    );
+    est.estimate(inst).unwrap().value
 }
 
 #[test]
@@ -35,13 +31,16 @@ fn figure_1_bigmart_frequencies() {
     for (x, (&got, &w)) in db.frequencies().iter().zip(want.iter()).enumerate() {
         assert!((got - w).abs() < 1e-12, "item {x}");
     }
+    // The oracle's BigMart instances are that same database.
+    assert_eq!(cases::bigmart_h().supports, db.supports());
+    assert_eq!(cases::bigmart_h().frequencies(), db.frequencies());
 }
 
 #[test]
 fn section_2_3_consistent_mappings_of_h() {
     // "1' can be mapped to 1, 2, 3, 4 and 6; ... 2' can be mapped to
     // 1, 2, 4 and 5."
-    let g = belief_h().build_graph(&BIGMART_SUPPORTS, M);
+    let g = cases::bigmart_h().graph().unwrap();
     let one_prime: Vec<usize> = (0..6).filter(|&y| g.has_edge(0, y)).collect();
     assert_eq!(one_prime, vec![0, 1, 2, 3, 5]);
     let two_prime: Vec<usize> = (0..6).filter(|&y| g.has_edge(1, y)).collect();
@@ -51,23 +50,24 @@ fn section_2_3_consistent_mappings_of_h() {
 #[test]
 fn figure_3b_group_structure() {
     // Groups {5'}, {2'}, {1',3',4',6'} with frequencies .3/.4/.5.
-    let fg = FrequencyGroups::from_supports(&BIGMART_SUPPORTS, M);
+    let fg = FrequencyGroups::from_supports(&cases::BIGMART_SUPPORTS, cases::BIGMART_M);
     assert_eq!(fg.n_groups(), 3);
     assert_eq!(fg.sizes(), vec![1, 1, 4]);
 }
 
 #[test]
 fn lemma_1_and_3_on_bigmart() {
-    let fg = FrequencyGroups::from_supports(&BIGMART_SUPPORTS, M);
-    assert_eq!(point_valued_expected_cracks(&fg), 3.0);
+    // Lemma 3: the point-valued belief cracks one item per group.
+    let point = cases::bigmart_point();
+    assert_eq!(value_of(&ClosedForm, &point), 3.0);
     // The exact computation agrees: point-valued graph is three
     // complete blocks.
-    let b = BeliefFunction::point_valued(&bigmart_freqs()).unwrap();
-    let dense = b.build_graph(&BIGMART_SUPPORTS, M).to_dense();
-    assert!((expected_cracks(&dense).unwrap() - 3.0).abs() < 1e-9);
-    // And the ignorant graph gives exactly one crack.
-    let ign = BeliefFunction::ignorant(6).build_graph(&BIGMART_SUPPORTS, M);
-    assert!((expected_cracks(&ign.to_dense()).unwrap() - 1.0).abs() < 1e-9);
+    let exact = value_of(&Permanent::default(), &point);
+    assert!((exact - 3.0).abs() < 1e-9);
+    // Lemma 1: the ignorant belief cracks exactly one item.
+    let ignorant = cases::bigmart_ignorant();
+    assert_eq!(value_of(&ClosedForm, &ignorant), 1.0);
+    assert!((value_of(&Permanent::default(), &ignorant) - 1.0).abs() < 1e-9);
 }
 
 #[test]
@@ -77,10 +77,12 @@ fn section_4_2_chain_example_74_over_45() {
     // The paper quotes 1.644 cracks on average.
     assert!((chain.expected_cracks() - 1.644).abs() < 1e-3);
     // Cross-check the closed form against the exact permanent
-    // computation on a realized instance.
-    let (supports, belief) = chain.realize(90).unwrap();
-    let dense = belief.build_graph(&supports, 90).to_dense();
-    let exact = expected_cracks(&dense).unwrap();
+    // computation on the realized corpus instance: ClosedForm
+    // detects the chain, Permanent sums the marginals.
+    let inst = cases::section_4_2_chain().unwrap();
+    let closed = value_of(&ClosedForm, &inst);
+    assert!((closed - 74.0 / 45.0).abs() < 1e-12);
+    let exact = value_of(&Permanent::default(), &inst);
     assert!(
         (exact - 74.0 / 45.0).abs() < 1e-9,
         "permanent-exact {exact} vs Lemma 5"
@@ -90,35 +92,29 @@ fn section_4_2_chain_example_74_over_45() {
 #[test]
 fn section_5_1_oestimate_of_figure_5() {
     // OE for h on BigMart: outdegrees 6,5,4,5,2,4.
-    let g = belief_h().build_graph(&BIGMART_SUPPORTS, M);
+    let inst = cases::bigmart_h();
+    let g = inst.graph().unwrap();
     assert_eq!(g.outdegrees(), vec![6, 5, 4, 5, 2, 4]);
-    let oe = OutdegreeProfile::plain(&g).oestimate();
+    let oe = OEstimate { propagated: false }.estimate(&inst).unwrap();
     let want = 1.0 / 6.0 + 1.0 / 5.0 + 0.25 + 0.2 + 0.5 + 0.25;
-    assert!((oe - want).abs() < 1e-12);
+    assert!((oe.value - want).abs() < 1e-12);
+    assert_eq!(oe.confidence, Confidence::LowerBound);
 }
 
 #[test]
 fn figure_6a_staircase_25_over_12_vs_4() {
     // O-estimate 25/12 without propagation; the true number of
     // cracks is 4 (unique matching), which propagation recovers.
-    let supports = vec![2u64, 4, 6, 8];
-    let f = |s: u64| s as f64 / 10.0;
-    let belief = BeliefFunction::from_intervals(vec![
-        (f(2), f(2)),
-        (f(2), f(4)),
-        (f(2), f(6)),
-        (f(2), f(8)),
-    ])
-    .unwrap();
-    let graph = belief.build_graph(&supports, 10);
-    let plain = OutdegreeProfile::plain(&graph).oestimate();
+    let inst = cases::staircase_6a();
+    let plain = value_of(&OEstimate { propagated: false }, &inst);
     assert!((plain - 25.0 / 12.0).abs() < 1e-12);
+    let graph = inst.graph().unwrap();
     let prop = OutdegreeProfile::propagated(&graph).unwrap();
     assert_eq!(prop.forced_cracks(), 4);
-    assert!((prop.oestimate() - 4.0).abs() < 1e-12);
-    // Exact agrees: the permanent is 1.
-    let dense = belief.build_graph(&supports, 10).to_dense();
-    assert_eq!(permanent(&dense), 1);
+    assert!((value_of(&OEstimate { propagated: true }, &inst) - 4.0).abs() < 1e-12);
+    // Exact agrees: the permanent is 1, so all four marginals are 1.
+    assert_eq!(permanent(&graph.to_dense()), 1);
+    assert!((value_of(&Permanent::default(), &inst) - 4.0).abs() < 1e-9);
 }
 
 #[test]
@@ -129,62 +125,70 @@ fn section_5_2_chain_oestimate_197_over_120() {
         (chain.oestimate() - 1.6417).abs() < 1e-4,
         "paper quotes 1.6417"
     );
+    // The realized corpus instance reproduces the same OE through
+    // the graph-side estimator, and detection recovers the spec.
+    let inst = cases::section_4_2_chain().unwrap();
+    let plain = value_of(&OEstimate { propagated: false }, &inst);
+    assert!((plain - 197.0 / 120.0).abs() < 1e-9);
+    let spec = ChainSpec::detect(&inst.graph().unwrap()).expect("paper chain detects");
+    assert!((spec.oestimate() - 197.0 / 120.0).abs() < 1e-12);
 }
 
 #[test]
 fn section_5_2_delta_table() {
-    // (e1, e2, e3, s1, s2) -> published percentage error. The
-    // camera-ready's e1 = 15 rows violate item conservation; e1 = 5
-    // reproduces the published errors exactly.
-    let rows: [(usize, usize, usize, usize, usize, f64, f64); 5] = [
-        (10, 10, 10, 20, 20, 1.54, 0.01),
-        (5, 10, 10, 25, 20, 4.80, 0.01),
-        (5, 10, 5, 25, 25, 8.33, 0.04),
-        (5, 6, 5, 27, 27, 5.76, 0.01),
-        // Published 7.23; our exact arithmetic gives 7.27.
-        (10, 20, 10, 15, 15, 7.27, 0.01),
+    // The published percentage errors of the Δ table, one per corpus
+    // instance. The camera-ready's e1 = 15 rows violate item
+    // conservation; e1 = 5 reproduces the published errors exactly.
+    // (Row 5: published 7.23; our exact arithmetic gives 7.27.)
+    let want = [
+        (1.54, 0.01),
+        (4.80, 0.01),
+        (8.33, 0.04),
+        (5.76, 0.01),
+        (7.27, 0.01),
     ];
-    for &(e1, e2, e3, s1, s2, want, tol) in &rows {
-        let chain = ChainSpec::new(vec![20, 30, 20], vec![e1, e2, e3], vec![s1, s2]).unwrap();
-        let got = chain.percentage_error();
+    let rows = cases::delta_table().unwrap();
+    assert_eq!(rows.len(), want.len());
+    for (inst, &(pct, tol)) in rows.iter().zip(want.iter()) {
+        let spec = ChainSpec::detect(&inst.graph().unwrap()).expect("delta chain detects");
+        let got = spec.percentage_error();
         assert!(
-            (got - want).abs() <= tol,
-            "row ({e1},{e2},{e3},{s1},{s2}): {got:.3}% vs {want}%"
+            (got - pct).abs() <= tol,
+            "{}: {got:.3}% vs {pct}%",
+            inst.label
         );
+        // The closed form and the exact permanent agree on every row.
+        let closed = value_of(&ClosedForm, inst);
+        assert!((closed - spec.expected_cracks()).abs() < 1e-12);
     }
 }
 
 #[test]
 fn figure_6b_identified_pairs_and_exact_probabilities() {
     // 1'/2' indistinguishable individually, yet {1',2'} -> {1,2}.
-    let supports = vec![2u64, 4, 6, 8];
-    let f = |s: u64| s as f64 / 10.0;
-    let belief = BeliefFunction::from_intervals(vec![
-        (f(2), f(4)),
-        (f(2), f(4)),
-        (f(4), f(8)),
-        (f(6), f(8)),
-    ])
-    .unwrap();
-    let graph = belief.build_graph(&supports, 10);
+    let inst = cases::figure_6b();
+    let graph = inst.graph().unwrap();
     let id = andi::identify_sets(&graph);
     assert_eq!(id.blocks.len(), 2);
     assert_eq!(id.blocks[0].original_items, vec![0, 1]);
     // Exact marginals: each of items 0,1 is cracked w.p. 1/2.
-    let probs = crack_probabilities(&graph.to_dense()).unwrap();
+    let probs = crack_probabilities_of(&inst).unwrap();
     assert!((probs[0] - 0.5).abs() < 1e-9);
     assert!((probs[1] - 0.5).abs() < 1e-9);
 }
 
 #[test]
 fn figure_2_compliance_classification() {
-    let freqs = bigmart_freqs();
-    let f = BeliefFunction::point_valued(&freqs).unwrap();
-    let g = BeliefFunction::ignorant(6);
-    let h = belief_h();
-    assert!((f.alpha(&freqs) - 1.0).abs() < 1e-12);
-    assert!((g.alpha(&freqs) - 1.0).abs() < 1e-12);
-    assert!((h.alpha(&freqs) - 1.0).abs() < 1e-12);
+    let h = cases::bigmart_h();
+    let f = cases::bigmart_point();
+    let g = cases::bigmart_ignorant();
+    // All three Figure 2 beliefs are fully compliant.
+    assert!((f.alpha() - 1.0).abs() < 1e-12);
+    assert!((g.alpha() - 1.0).abs() < 1e-12);
+    assert!((h.alpha() - 1.0).abs() < 1e-12);
+    let f = f.belief().unwrap();
+    let g = g.belief().unwrap();
+    let h = h.belief().unwrap();
     assert!(f.is_point_valued() && !f.is_interval());
     assert!(g.is_ignorant() && g.is_interval());
     assert!(h.is_interval() && !h.is_ignorant());
@@ -196,13 +200,13 @@ fn h_exact_expectation_brackets_the_oestimate() {
     // computation); the O-estimate 1.5667 underestimates, as the
     // paper's Δ analysis predicts (OE <= exact on entangled
     // structures).
-    let graph = belief_h().build_graph(&BIGMART_SUPPORTS, M);
-    let exact = expected_cracks(&graph.to_dense()).unwrap();
+    let inst = cases::bigmart_h();
+    let exact = value_of(&Permanent::default(), &inst);
     assert!((exact - 1.8125).abs() < 1e-9, "exact = {exact}");
-    let oe = OutdegreeProfile::plain(&graph).oestimate();
+    let oe = value_of(&OEstimate { propagated: false }, &inst);
     assert!(oe < exact);
-    // Propagation cannot hurt.
-    let prop = OutdegreeProfile::propagated(&graph).unwrap().oestimate();
+    // Propagation cannot hurt on a compliant belief.
+    let prop = value_of(&OEstimate { propagated: true }, &inst);
     assert!(prop >= oe - 1e-12);
     assert!(prop <= exact + 1e-9);
 }
@@ -211,11 +215,26 @@ fn h_exact_expectation_brackets_the_oestimate() {
 fn propagated_statuses_on_point_valued_bigmart() {
     // Singleton groups (items 2', 5') are forced cracks under the
     // point-valued belief; the four-item group stays free.
-    let b = BeliefFunction::point_valued(&bigmart_freqs()).unwrap();
-    let graph = b.build_graph(&BIGMART_SUPPORTS, M);
+    let graph = cases::bigmart_point().graph().unwrap();
     let prof = OutdegreeProfile::propagated(&graph).unwrap();
     assert_eq!(prof.status(1), ItemStatus::ForcedCrack);
     assert_eq!(prof.status(4), ItemStatus::ForcedCrack);
     assert_eq!(prof.status(0), ItemStatus::Free { outdegree: 4 });
     assert_eq!(prof.forced_cracks(), 2);
+}
+
+#[test]
+fn every_paper_case_passes_the_conformance_battery() {
+    // The same instances live in the committed corpus; the full
+    // differential battery must come back clean on each.
+    let config = andi_oracle::CheckConfig::default();
+    for inst in cases::all().unwrap() {
+        let report = andi_oracle::check_instance(&inst, &config).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "{}: {:?}",
+            inst.label,
+            report.violations
+        );
+    }
 }
