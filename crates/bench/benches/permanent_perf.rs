@@ -34,6 +34,17 @@ fn bench_permanent(c: &mut Criterion) {
     }
     group.finish();
 
+    // The overflow-checked lane above `SAFE_UNCHECKED_N = 22`: these
+    // rows pin down where the raised `MAX_PERMANENT_N` ceiling sits
+    // in wall-clock terms.
+    let mut group = c.benchmark_group("permanent_ryser_checked");
+    group.sample_size(10);
+    for n in [24usize, 28] {
+        let g = random_graph(n, 0.5, n as u64);
+        group.bench_function(format!("n{n}"), |b| b.iter(|| permanent(black_box(&g))));
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("exact_expected_cracks");
     group.sample_size(10);
     for n in [8usize, 12] {

@@ -50,7 +50,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
@@ -61,7 +61,12 @@ fn main() -> ExitCode {
 /// able to tell a degraded figure from an exact one.
 const EXIT_DEGRADED: u8 = 3;
 
-const USAGE: &str = "usage:
+/// Renders the usage text; built at call time so the exact-permanent
+/// cap in the help tracks [`andi::graph::MAX_PERMANENT_N`] instead of
+/// drifting when the kernel's ceiling moves.
+fn usage() -> String {
+    format!(
+        "usage:
   andi stats <file.dat>
   andi assess <file.dat> [--tau T] [--no-propagation] [--budget-ms N]
               [--belief inst.txt] [--provenance-json out.json]
@@ -73,8 +78,15 @@ const USAGE: &str = "usage:
   andi mine <file.dat> --min-support N [--algo apriori|fpgrowth|eclat] [--rules C]
   andi demo
 
+exact kernels (assess's exact rung, oe --exact) handle domains of up
+to {cap} items; larger domains answer from the sampler / O-estimate
+rungs instead
+
 exit codes: 0 success, 1 error, 3 budgeted assessment answered by a
-degraded rung (see the provenance lines)";
+degraded rung (see the provenance lines)",
+        cap = andi::graph::MAX_PERMANENT_N
+    )
+}
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -92,7 +104,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "mine" => cmd_mine(rest).map(|()| ExitCode::SUCCESS),
         "demo" => cmd_demo().map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}")),

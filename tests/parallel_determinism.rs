@@ -149,3 +149,33 @@ fn sampler_shard_determinism_concrete_case() {
     let b = sample_cracks_with_threads(&g, &Matching::identity(7), &config, 3, 6).unwrap();
     assert_eq!(a.counts, b.counts);
 }
+
+/// The proptest above stays at n = 12 — below `PARALLEL_MIN_N`, so it
+/// pins the *dispatch*, not the fan-out. These sizes actually split
+/// into per-worker chunk walks, one on each side of the
+/// `SAFE_UNCHECKED_N = 22` accumulator-lane boundary, so both the
+/// half-space fast lane and the overflow-checked lane prove
+/// thread-count invariance on real chunk seams.
+#[test]
+fn permanent_lane_boundary_is_identical_across_threads() {
+    for n in [22usize, 23] {
+        // Deterministic mixed-density rows: diagonal plus a splitmix-
+        // style scramble, masked to n columns.
+        let rows: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut x = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                x ^= x >> 31;
+                (x | (1 << i)) & ((1 << n) - 1)
+            })
+            .collect();
+        let serial = try_permanent_of_rows_with_threads(&rows, n, 1);
+        assert!(serial.is_some(), "n={n} instance should not overflow");
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                try_permanent_of_rows_with_threads(&rows, n, threads),
+                serial,
+                "n={n} threads={threads}"
+            );
+        }
+    }
+}
