@@ -45,6 +45,28 @@ impl Database {
         })
     }
 
+    /// Crate-internal constructor for transactions the caller already
+    /// validated (subsamplers and generators that build every
+    /// transaction non-empty and in-domain). Debug builds re-check
+    /// the [`Database::new`] invariants; release builds skip the
+    /// pass — no panic path, so no suppression needed at call sites.
+    pub(crate) fn from_trusted(n_items: usize, transactions: Vec<Transaction>) -> Self {
+        debug_assert!(
+            !transactions.is_empty(),
+            "trusted databases hold at least one transaction"
+        );
+        debug_assert!(
+            transactions
+                .iter()
+                .all(|t| t.items().last().is_some_and(|x| x.index() < n_items)),
+            "trusted transactions stay inside the domain 0..{n_items}"
+        );
+        Database {
+            n_items,
+            transactions,
+        }
+    }
+
     /// Domain size `n = |I|`.
     #[inline]
     pub fn n_items(&self) -> usize {

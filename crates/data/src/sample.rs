@@ -46,8 +46,9 @@ pub fn sample_count<R: Rng + ?Sized>(db: &Database, k: usize, rng: &mut R) -> Da
         .into_iter()
         .map(|i| db.transactions()[i].clone())
         .collect();
-    // andi::allow(lib-unwrap) — transactions come from a validated Database and k >= 1 keeps at least one
-    Database::new(db.n_items(), transactions).expect("subsample of a valid database is valid")
+    // The transactions come from a validated Database and k >= 1
+    // keeps at least one, so the trusted constructor applies.
+    Database::from_trusted(db.n_items(), transactions)
 }
 
 /// Bernoulli sample: keeps each transaction independently with
@@ -70,9 +71,9 @@ pub fn sample_bernoulli<R: Rng + ?Sized>(db: &Database, p: f64, rng: &mut R) -> 
             .cloned()
             .collect();
         if !transactions.is_empty() {
-            return Database::new(db.n_items(), transactions)
-                // andi::allow(lib-unwrap) — transactions come from a validated Database and the guard ensures non-emptiness
-                .expect("subsample of a valid database is valid");
+            // The guard ensures non-emptiness and the transactions
+            // come from a validated Database.
+            return Database::from_trusted(db.n_items(), transactions);
         }
     }
 }

@@ -83,9 +83,9 @@ pub fn materialize<R: Rng + ?Sized>(
         })
         .collect();
 
-    let database = Database::new(n_items, transactions)
-        // andi::allow(lib-unwrap) — the generator pads every transaction to non-empty and ids stay < n_items
-        .expect("materialized database is well-formed");
+    // The generator pads every transaction to non-empty and ids stay
+    // < n_items, so the trusted constructor applies.
+    let database = Database::from_trusted(n_items, transactions);
     MaterializedDatabase {
         database,
         filled_transactions: filled,

@@ -130,8 +130,8 @@ pub fn generate<R: Rng + ?Sized>(config: &QuestConfig, rng: &mut R) -> Database 
             // andi::allow(lib-unwrap) — scratch holds at least one non-empty pattern, so the transaction is non-empty
             .push(Transaction::new(scratch.iter().copied()).expect("patterns are non-empty"));
     }
-    // andi::allow(lib-unwrap) — every transaction was built non-empty with ids < n_items
-    Database::new(config.n_items, transactions).expect("generated database is well-formed")
+    // Every transaction was built non-empty with ids < n_items.
+    Database::from_trusted(config.n_items, transactions)
 }
 
 #[cfg(test)]

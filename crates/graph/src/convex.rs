@@ -213,7 +213,9 @@ fn log_permanent_packed(
         acc_weights: Vec::new(),
         block_limit: PACKED_BLOCK,
         work: 0,
-        work_budget: max_states.saturating_mul(16).max(1_000),
+        // Clamped so `work` (checked against the budget after every
+        // increment) provably stays far from the `usize` edge.
+        work_budget: max_states.saturating_mul(16).clamp(1_000, 1 << 62),
     };
     let mut avail = vec![0usize; w];
     let mut choice = vec![0usize; w];
@@ -294,6 +296,17 @@ impl PackedSink<'_> {
         rem: usize,
         lw: f64,
     ) -> Result<(), ConvexError> {
+        // andi::prove_no_overflow — the packed-key field arithmetic is machine-checked
+        debug_assert!(
+            self.work <= self.work_budget,
+            "budget check runs every call"
+        );
+        // andi::assume(work in [0, 4611686018427387904]) — work <= work_budget <= 2^62 on every live path
+        debug_assert!(
+            d <= self.w && self.w <= 65,
+            "(w - 1) * bits <= 64 forces w <= 65"
+        );
+        // andi::assume(d in [0, 65]) — recursion stops at d == w and w <= 65 in the packed lane
         self.work += 1;
         if self.work > self.work_budget {
             return Err(ConvexError::BudgetExceeded {
@@ -316,6 +329,13 @@ impl PackedSink<'_> {
             // most-significant-first so key order is state lex order.
             let mut key = 0u64;
             for j in 1..w {
+                debug_assert!(
+                    self.bits < 64 && key <= u64::MAX >> self.bits,
+                    "entry check caps the packed width at (w - 1) * bits <= 64"
+                );
+                // andi::assume(key << self.bits in [0, 18446744073709551615]) — at most (w - 2) fields of `bits` bits are packed before this shift
+                debug_assert!(choice[j] <= avail[j], "choices never exceed availability");
+                // andi::assume(avail[j] - choice[j] in [0, 18446744073709551615]) — every choice is capped at max_c, which never exceeds availability
                 key = (key << self.bits) | (avail[j] - choice[j]) as u64;
             }
             self.scratch.push((key, weight));
@@ -334,6 +354,8 @@ impl PackedSink<'_> {
         let max_c = rem.min(avail[d]);
         for c in min_c..=max_c {
             choice[d] = c;
+            debug_assert!(c <= rem, "max_c = rem.min(avail[d]) caps the choice");
+            // andi::assume(rem - c in [0, 18446744073709551615]) — c <= max_c <= rem
             self.distribute(avail, choice, d + 1, rem - c, lw)?;
         }
         Ok(())
@@ -396,7 +418,9 @@ fn log_permanent_wide(
         ln,
         next: BTreeMap::new(),
         work: 0,
-        work_budget: max_states.saturating_mul(16).max(1_000),
+        // Same clamp as the packed lane, so the two lanes' work
+        // accounting trips identically.
+        work_budget: max_states.saturating_mul(16).clamp(1_000, 1 << 62),
         w,
     };
     let mut avail = vec![0usize; w];

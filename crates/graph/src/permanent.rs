@@ -88,6 +88,23 @@ pub const MAX_PERMANENT_N: usize = 32;
 /// Above this bound the overflow-checked lane runs instead.
 const SAFE_UNCHECKED_N: usize = 22;
 
+/// Largest magnitude the fast lane's block-local `i128` total can
+/// reach: at most `2^(n-1)` half-space terms of magnitude at most
+/// `n^n` each, maximized at `n = SAFE_UNCHECKED_N`, i.e.
+/// `2^21 · 22^22`. The interval prover checks the running total stays
+/// inside it (see the `andi::assume` in [`ryser_block_fixed`]).
+const FIXED_TOTAL_BOUND: i128 = 716_026_155_870_127_773_233_492_469_657_632_768;
+
+/// Largest magnitude of one fast-lane term: `|Π y_i| <= N^N` with
+/// `N <= SAFE_UNCHECKED_N`, i.e. `22^22`.
+const FIXED_TERM_BOUND: i128 = 341_427_877_364_219_557_396_646_723_584;
+
+/// Largest checked-lane partial product *before* its next factor:
+/// `p <= n^(lane_len - 1) < 2^(62 - bits(n)) <= 2^57` for
+/// `n > SAFE_UNCHECKED_N` (so `bits(n) >= 5`), which keeps
+/// `p · v <= 2^57 · MAX_PERMANENT_N < 2^62` inside `u64`.
+const CHECKED_LANE_PARTIAL_MAX: u64 = (1 << 57) - 1;
+
 /// Minimum domain size worth fanning out over threads; below this a
 /// Gray-code walk is microseconds and spawn overhead dominates.
 const PARALLEL_MIN_N: usize = 18;
@@ -420,11 +437,21 @@ impl GrayWalk {
     /// the product an exact 0 without ever tripping the check.
     #[inline(always)]
     fn term_checked(&self, n: usize, lane_len: usize) -> Option<u128> {
+        // andi::prove_no_overflow — the in-range u64 lane products are machine-checked
         let mut acc: u128 = 1;
         for q in self.sums[..n].chunks(lane_len) {
             let mut p: u64 = 1;
             for &v in q {
-                debug_assert!(v >= 0, "row sums are set cardinalities");
+                debug_assert!(
+                    v >= 0 && v <= MAX_PERMANENT_N as i32,
+                    "row sums are set cardinalities bounded by n"
+                );
+                // andi::assume(v in [0, 32]) — |row_i ∩ S| <= n <= MAX_PERMANENT_N
+                debug_assert!(
+                    p <= CHECKED_LANE_PARTIAL_MAX,
+                    "lane partial exceeds n^(lane_len - 1) < 2^57"
+                );
+                // andi::assume(p in [0, 144115188075855871]) — checked_lane_len keeps p < 2^(62 - bits(n)) <= 2^57 before each factor
                 p *= v as u64;
             }
             acc = acc.checked_mul(u128::from(p))?;
@@ -470,10 +497,16 @@ fn ryser_block_unchecked(rows: &[u64], n: usize, w_start: u64, w_end: u64) -> i1
 /// the freshly seeded state itself, so its term is taken before any
 /// advance.
 fn ryser_block_fixed<const N: usize>(rows: &[u64], w_start: u64, w_end: u64) -> i128 {
+    // andi::prove_no_overflow — the fast lane's unchecked accumulation is machine-checked
     let first = w_start.max(1);
     let mut walk = FixedWalk::<N>::seeded(rows, first);
     let mut total: i128 = if w_start == 0 { walk.term() } else { 0 };
     for s in first..w_end {
+        debug_assert!(
+            (-FIXED_TOTAL_BOUND..=FIXED_TOTAL_BOUND).contains(&total),
+            "fast-lane total exceeds the 2^(n-1) * n^n walk bound"
+        );
+        // andi::assume(total in [-716026155870127773233492469657632768, 716026155870127773233492469657632768]) — at most 2^(N-1) <= 2^21 terms of magnitude <= N^N <= 22^22 accumulate per walk
         total += step_fixed(&mut walk, s);
     }
     total
@@ -484,9 +517,15 @@ fn ryser_block_fixed<const N: usize>(rows: &[u64], w_start: u64, w_end: u64) -> 
 /// `popcount(gray(s)) ≡ s (mod 2)`.
 #[inline(always)]
 fn step_fixed<const N: usize>(walk: &mut FixedWalk<N>, s: u64) -> i128 {
+    // andi::prove_no_overflow — the branchless sign flip is machine-checked
     let gray = s ^ (s >> 1);
     walk.advance(gray);
     let term = walk.term();
+    debug_assert!(
+        (-FIXED_TERM_BOUND..=FIXED_TERM_BOUND).contains(&term),
+        "fast-lane term exceeds the n^n magnitude bound"
+    );
+    // andi::assume(term in [-341427877364219557396646723584, 341427877364219557396646723584]) — |Π y_i| <= N^N and N <= SAFE_UNCHECKED_N = 22
     // 0 for an even |S|, -1 for odd; `(x ^ m) - m` negates x exactly
     // when m is -1.
     let m = -(s as i128 & 1);
@@ -514,7 +553,15 @@ impl<const N: usize> FixedWalk<N> {
     /// delta table (`N^2` ints, amortized over a
     /// [`CHUNK_SUBSETS`]-sized block).
     fn seeded(rows: &[u64], s_first: u64) -> Self {
+        // andi::prove_no_overflow — the seeding arithmetic is machine-checked
         debug_assert_eq!(rows.len(), N);
+        debug_assert!(
+            (1..=SAFE_UNCHECKED_N).contains(&N),
+            "fast-lane monomorphizations stop at SAFE_UNCHECKED_N"
+        );
+        // andi::assume(N in [1, 22]) — ryser_block_unchecked dispatches only N in 1..=SAFE_UNCHECKED_N
+        debug_assert!(s_first >= 1, "coordinate 0 is the seed state itself");
+        // andi::assume(s_first in [1, 18446744073709551615]) — callers clamp with w_start.max(1)
         let prev = s_first - 1;
         let prev_gray = prev ^ (prev >> 1);
         let mut cols = [[0i32; N]; N];
@@ -542,6 +589,12 @@ impl<const N: usize> FixedWalk<N> {
     /// no multiply.
     #[inline(always)]
     fn advance(&mut self, gray: u64) {
+        // andi::prove_no_overflow — the branchless toggle update is machine-checked
+        debug_assert!(
+            (1..=SAFE_UNCHECKED_N).contains(&N),
+            "fast-lane monomorphizations stop at SAFE_UNCHECKED_N"
+        );
+        // andi::assume(N in [1, 22]) — ryser_block_unchecked dispatches only N in 1..=SAFE_UNCHECKED_N
         let changed = gray ^ self.prev_gray;
         let col = (changed.trailing_zeros() as usize).min(N - 1);
         // 0 when the toggled column joined the subset, -1 when it
@@ -549,6 +602,13 @@ impl<const N: usize> FixedWalk<N> {
         let m = (((gray >> col) & 1) as i32).wrapping_sub(1);
         let deltas = &self.cols[col];
         for (sum, &c) in self.sums.iter_mut().zip(deltas) {
+            debug_assert!(c == 0 || c == 2, "cols holds doubled 0/1 row bits");
+            // andi::assume(c in [0, 2]) — the delta table stores `2 * ((row >> j) & 1)`
+            debug_assert!(
+                *sum >= -(N as i32) && *sum <= N as i32,
+                "|y_i| <= N by the Nijenhuis-Wilf factor bound"
+            );
+            // andi::assume(sum in [-22, 22]) — |y_i| <= N <= SAFE_UNCHECKED_N before every toggle
             *sum += (c ^ m) - m;
         }
         self.prev_gray = gray;
@@ -561,18 +621,38 @@ impl<const N: usize> FixedWalk<N> {
     /// (`|y_i| <= N`, same magnitude as the plain-Ryser row sums).
     #[inline(always)]
     fn term(&self) -> i128 {
+        // andi::prove_no_overflow — the unchecked multiply chains are machine-checked
         let mut lanes = [1i64; 8];
         let mut it = self.sums.chunks_exact(8);
         for q in it.by_ref() {
             for (lane, &v) in lanes.iter_mut().zip(q) {
+                debug_assert!(v >= -(N as i32) && v <= N as i32, "|y_i| <= N");
+                // andi::assume(v in [-22, 22]) — |y_i| <= N <= SAFE_UNCHECKED_N
+                debug_assert!(
+                    *lane >= -484 && *lane <= 484,
+                    "at most two prior factors of magnitude <= 22 per lane"
+                );
+                // andi::assume(lane in [-484, 484]) — a lane holds at most 22^2 before its next multiply
                 *lane *= i64::from(v);
             }
         }
         for (lane, &v) in lanes.iter_mut().zip(it.remainder()) {
+            debug_assert!(v >= -(N as i32) && v <= N as i32, "|y_i| <= N");
+            // andi::assume(v in [-22, 22]) — |y_i| <= N <= SAFE_UNCHECKED_N
+            debug_assert!(
+                *lane >= -484 && *lane <= 484,
+                "at most two prior factors of magnitude <= 22 per lane"
+            );
+            // andi::assume(lane in [-484, 484]) — a lane holds at most 22^2 before its next multiply
             *lane *= i64::from(v);
         }
         // Pairwise fold: each i64 intermediate holds at most
         // ceil(N/2) factors of magnitude <= N.
+        debug_assert!(
+            lanes.iter().all(|l| (-10648..=10648).contains(l)),
+            "at most three factors of magnitude <= 22 per lane"
+        );
+        // andi::assume(lanes in [-10648, 10648]) — ceil(22/8) = 3 factors of magnitude <= 22 per lane
         let q01 = lanes[0] * lanes[1];
         let q23 = lanes[2] * lanes[3];
         let q45 = lanes[4] * lanes[5];

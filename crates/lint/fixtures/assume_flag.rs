@@ -1,0 +1,18 @@
+//! Negative fixture for `assume-soundness`: assume contracts with no
+//! dominating runtime guard backing them up.
+
+/// No guard at all before the assume.
+pub fn unguarded(n: u64) -> u64 {
+    // andi::prove_no_overflow — the doubling is claimed safe
+    // andi::assume(n in [0, 1000]) — stated, never enforced
+    n * 2
+}
+
+/// The guard covers `a` but says nothing about `b`.
+pub fn half_guarded(a: u64, b: u64) -> u64 {
+    // andi::prove_no_overflow — the sum is claimed safe
+    debug_assert!(a <= 50, "a is capped by the dispatcher");
+    // andi::assume(a in [0, 50]) — capped by the guard above
+    // andi::assume(b in [0, 50]) — nothing guards b
+    a + b
+}

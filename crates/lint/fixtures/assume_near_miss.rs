@@ -1,0 +1,21 @@
+//! Near-miss fixture for `assume-soundness`: every assume is backed
+//! by a dominating runtime guard that mentions its free identifiers.
+
+/// An assert-family guard on the same variable.
+pub fn guarded(n: u64) -> u64 {
+    // andi::prove_no_overflow — the doubling is machine-checked
+    debug_assert!(n <= 1000, "dispatchers cap n");
+    // andi::assume(n in [0, 1000]) — enforced by the guard above
+    n * 2
+}
+
+/// A `match` on the variable filters the range before the assume.
+pub fn match_guarded(k: u32) -> u32 {
+    // andi::prove_no_overflow — the bump is machine-checked
+    match k {
+        0..=100 => {}
+        _ => return 0,
+    }
+    // andi::assume(k in [0, 100]) — the match filters the range
+    k + 5
+}

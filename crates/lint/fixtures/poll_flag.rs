@@ -1,36 +1,42 @@
-//! Negative fixture for `cancel-blind-loop`: long hot-path loops
-//! that never poll the budget or cancel token.
+//! Negative fixture for `poll-reachability`: budgeted entry points
+//! whose long loops never reach a poll — not directly, and not
+//! through any callee.
 
-/// A Gray-code-style walk with a big body and no poll anywhere: the
-/// budget layer can never interrupt it.
-pub fn blind_walk(rows: &[u64], n: u32, s_start: u64, s_end: u64) -> i128 {
+pub struct Budget;
+pub struct CancelToken;
+
+/// Pollless helper: delegating the inner work to it earns the
+/// caller's loop no credit.
+fn fold_row(rows: &[u64], flipped: u32) -> i128 {
+    let mut product: i128 = 1;
+    for &row in rows {
+        let bit = (row >> flipped) & 1;
+        product = product.saturating_mul(1 + bit as i128);
+    }
+    product
+}
+
+/// A Gray-code-style walk with the budget in scope that never
+/// consults it: the budget layer can never interrupt the walk.
+pub fn blind_walk(rows: &[u64], s_start: u64, s_end: u64, _budget: &Budget) -> i128 {
     let mut total: i128 = 0;
-    let mut row_sums = vec![0i128; rows.len()];
     let mut subset: u64 = 0;
     for s in s_start..s_end {
         let gray = s ^ (s >> 1);
         let flipped = (gray ^ subset).trailing_zeros();
         subset = gray;
         let sign = if subset.count_ones() % 2 == 0 { 1 } else { -1 };
-        let mut product: i128 = 1;
-        for (i, &row) in rows.iter().enumerate() {
-            let bit = (row >> flipped) & 1;
-            row_sums[i] += bit as i128;
-            if row_sums[i] == 0 {
-                product = 0;
-            } else {
-                product = product.saturating_mul(row_sums[i]);
-            }
-        }
-        let weight = (n as i128) + (flipped as i128);
+        let product = fold_row(rows, flipped);
+        let weight = (flipped as i128) + 3;
         total = total.saturating_add(sign * product * weight);
         total = total.rotate_left(1).rotate_right(1);
+        total ^= total >> 5;
     }
     total
 }
 
-/// A `while` retry loop that can spin for a long time unpolled.
-pub fn blind_retry(mut state: u64, target: u64) -> u64 {
+/// A retry loop holding a cancel token it never reads.
+pub fn blind_retry(mut state: u64, target: u64, _cancel: &CancelToken) -> u64 {
     let mut steps = 0u64;
     while state != target {
         state ^= state << 13;

@@ -1,0 +1,97 @@
+//! Near-miss fixture for `poll-reachability`: budgeted fns whose
+//! loops must NOT flag — a direct poll, a poll through a two-level
+//! helper chain, a constant-trip loop, and a short fold.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn check(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+/// One polling step: calling it transitively credits the caller.
+fn drain_step(budget: &Budget, state: u64) -> Result<u64, ()> {
+    budget.check()?;
+    Ok(state.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Two levels away from the poll: credit is a call-graph fixpoint.
+fn drain_batch(budget: &Budget, state: u64) -> Result<u64, ()> {
+    drain_step(budget, state ^ (state >> 3))
+}
+
+const WARMUP_STEPS: usize = 16;
+
+/// Long body, but polls the budget directly every 8192 steps.
+pub fn polled_walk(rows: &[u64], s_start: u64, s_end: u64, budget: &Budget) -> Result<i128, ()> {
+    let mut total: i128 = 0;
+    let mut subset: u64 = 0;
+    for s in s_start..s_end {
+        if s & 8191 == 0 {
+            budget.check()?;
+        }
+        let gray = s ^ (s >> 1);
+        let flipped = (gray ^ subset).trailing_zeros();
+        subset = gray;
+        let sign = if subset.count_ones() % 2 == 0 { 1 } else { -1 };
+        let mut product: i128 = 1;
+        for &row in rows {
+            let bit = (row >> flipped) & 1;
+            product = product.saturating_mul(1 + bit as i128);
+        }
+        total = total.saturating_add(sign * product);
+        total = total.rotate_left(1).rotate_right(1);
+    }
+    Ok(total)
+}
+
+/// Long body that polls only through the two-level helper chain.
+pub fn chained_retry(mut state: u64, target: u64, budget: &Budget) -> Result<u64, ()> {
+    let mut steps = 0u64;
+    while state != target {
+        state = drain_batch(budget, state)?;
+        let bucket = (state % 1024) as usize;
+        let weight = bucket.saturating_mul(3) + 7;
+        let folded = (state >> 32) ^ (state & 0xFFFF_FFFF);
+        state = state.wrapping_add(folded.wrapping_mul(weight as u64));
+        state = state.rotate_left((bucket % 63) as u32 + 1);
+        state ^= state >> 11;
+        state = state.wrapping_sub(weight as u64);
+        state ^= folded.rotate_right(9);
+        steps = steps.wrapping_add(1);
+        if steps > 1_000_000_000 {
+            state = target;
+        }
+    }
+    Ok(state)
+}
+
+/// Long body, pollless — but the trip count is a compile-time
+/// constant, so it is bounded and exempt.
+pub fn warmup(mut state: u64, _budget: &Budget) -> u64 {
+    for _ in 0..WARMUP_STEPS {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state = state.wrapping_mul(0x2545F4914F6CDD1D);
+        let bucket = (state % 1024) as usize;
+        let weight = bucket.saturating_mul(3) + 7;
+        let folded = (state >> 32) ^ (state & 0xFFFF_FFFF);
+        state = state.wrapping_add(folded.wrapping_mul(weight as u64));
+        state = state.rotate_left((bucket % 63) as u32 + 1);
+        state ^= state >> 11;
+        state = state.wrapping_sub(weight as u64);
+        state ^= folded.rotate_right(9);
+    }
+    state
+}
+
+/// Short fold: pollless, but well under the long-loop threshold.
+pub fn short_fold(values: &[u64], _budget: &Budget) -> u64 {
+    let mut acc = 0u64;
+    for &v in values {
+        acc = acc.wrapping_add(v ^ (v >> 3));
+    }
+    acc
+}

@@ -1,0 +1,19 @@
+//! Negative fixture for `unchecked-width`: proven regions whose
+//! arithmetic the interval prover cannot bound.
+
+/// Claims the fast-lane contract but accumulates unbounded terms:
+/// `acc + xs[i]` spans twice the `i64` range.
+pub fn runaway_sum(xs: &[i64]) -> i64 {
+    // andi::prove_no_overflow — claimed safe, but nothing bounds the terms
+    let mut acc: i64 = 0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
+}
+
+/// A shift whose amount is unbounded: `bits` can reach 64 and beyond.
+pub fn runaway_shift(key: u64, bits: u32) -> u64 {
+    // andi::prove_no_overflow — claimed safe, but the shift amount is unbounded
+    key << bits
+}

@@ -1,0 +1,29 @@
+//! Near-miss fixture for `unchecked-width`: the same shapes as the
+//! negative fixture, bounded by runtime guards + assume contracts so
+//! the interval prover discharges every op.
+
+/// The accumulation, with both the term and the running sum clamped.
+pub fn bounded_sum(xs: &[i32]) -> i64 {
+    // andi::prove_no_overflow — the clamped accumulation is machine-checked
+    let mut acc: i64 = 0;
+    for i in 0..xs.len() {
+        let x = i64::from(xs[i]);
+        debug_assert!(x >= -100 && x <= 100, "callers clamp every term");
+        // andi::assume(x in [-100, 100]) — callers clamp every term
+        debug_assert!(
+            acc >= -1_000_000 && acc <= 1_000_000,
+            "run length keeps the sum small"
+        );
+        // andi::assume(acc in [-1000000, 1000000]) — at most 10_000 clamped terms accumulate
+        acc += x;
+    }
+    acc
+}
+
+/// The shift, with the amount capped and the key's top byte clear.
+pub fn bounded_shift(key: u64, bits: u32) -> u64 {
+    // andi::prove_no_overflow — the capped shift is machine-checked
+    debug_assert!(bits <= 8 && key <= (u64::MAX >> 8), "packers cap the field width");
+    // andi::assume(key << bits in [0, 18446744073709551615]) — at most 2^56 shifted by at most 8 bits
+    key << bits
+}

@@ -1,0 +1,300 @@
+//! Contract pragmas for the interval prover.
+//!
+//! Two comment forms feed [`crate::interval`]:
+//!
+//! ```text
+//! // andi::prove_no_overflow
+//! // andi::assume(<target> in [<lo>, <hi>]) — <reason>
+//! ```
+//!
+//! `prove_no_overflow` marks the *enclosing fn body* as a proven
+//! region: every `+ - * << neg` (and compound form) inside it must
+//! have a computed interval provably within its type, or
+//! `unchecked-width` fires. `assume` narrows the prover's knowledge:
+//! `<target>` is either a variable name (`total`) or a verbatim
+//! expression (`avail[j] - choice[j]`, `key << self.bits`), and the
+//! prover substitutes `[lo, hi]` wherever the target matches. An
+//! expression target additionally exempts the ops *inside* the
+//! matched expression — the assume vouches for them, which is why
+//! every assume must itself be backed by a runtime guard
+//! (`assume-soundness`).
+//!
+//! Hygiene mirrors `andi::allow` exactly: malformed contracts are
+//! `invalid-pragma`, contracts that never narrow anything are
+//! `unused-pragma`, and `assume` MUST carry a written reason.
+
+use crate::lexer::{scan, ContractComment, Token, TokenKind};
+
+/// One parsed, well-formed contract.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Contract {
+    /// `andi::prove_no_overflow` — the enclosing fn body is a proven
+    /// region.
+    ProveRegion {
+        /// 1-based line of the marker comment.
+        line: u32,
+    },
+    /// `andi::assume(<target> in [<lo>, <hi>]) — <reason>`.
+    Assume(Assume),
+}
+
+/// A parsed `andi::assume`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assume {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The target's tokens, normalized (joined with single spaces),
+    /// e.g. `"total"` or `"key << self . bits"`.
+    pub target: String,
+    /// Identifiers appearing in the target (minus `self`) — the free
+    /// variables a dominating guard must mention.
+    pub idents: Vec<String>,
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+    /// The written justification (required).
+    pub reason: String,
+}
+
+/// All contracts of one file, plus the malformed ones.
+#[derive(Clone, Debug, Default)]
+pub struct FileContracts {
+    /// Well-formed contracts in source order.
+    pub contracts: Vec<Contract>,
+    /// `(line, message)` for malformed contract comments.
+    pub invalid: Vec<(u32, String)>,
+}
+
+/// Normalizes a snippet of Rust source to the prover's canonical
+/// token text: tokens joined with single spaces. Comments and
+/// whitespace vanish, so `avail[ j ]-choice[j]` and
+/// `avail[j] - choice[j]` normalize identically.
+pub fn normalize(snippet: &str) -> String {
+    join_glued(&scan(snippet).tokens)
+}
+
+/// Joins tokens with single spaces, regluing multi-char operators the
+/// lexer split into adjacent single-char puncts (`<<`, `>>=`, `::`,
+/// …) so `a << b` and `a<<b` normalize identically while a genuinely
+/// separated `< <` (e.g. `a < <T as U>::C`) stays split. Both assume
+/// targets and the code spans they are matched against go through
+/// this, so the two sides cannot drift.
+pub(crate) fn join_glued(toks: &[Token]) -> String {
+    const THREE: &[&str] = &["<<=", ">>=", "..="];
+    const TWO: &[&str] = &[
+        "<<", ">>", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+        "|=", "::", "->", "=>", "..",
+    ];
+    fn adj(a: &Token, b: &Token) -> bool {
+        a.kind == TokenKind::Punct && b.kind == TokenKind::Punct && a.start + a.len == b.start
+    }
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if i + 2 < toks.len() && adj(&toks[i], &toks[i + 1]) && adj(&toks[i + 1], &toks[i + 2]) {
+            let glued = format!("{}{}{}", toks[i].text, toks[i + 1].text, toks[i + 2].text);
+            if THREE.contains(&glued.as_str()) {
+                out.push(glued);
+                i += 3;
+                continue;
+            }
+        }
+        if i + 1 < toks.len() && adj(&toks[i], &toks[i + 1]) {
+            let glued = format!("{}{}", toks[i].text, toks[i + 1].text);
+            if TWO.contains(&glued.as_str()) {
+                out.push(glued);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(toks[i].text.clone());
+        i += 1;
+    }
+    out.join(" ")
+}
+
+/// Parses the contract comments the lexer collected for one file.
+pub fn parse(comments: &[ContractComment]) -> FileContracts {
+    let mut out = FileContracts::default();
+    for c in comments {
+        match parse_one(c) {
+            Ok(contract) => out.contracts.push(contract),
+            Err(msg) => out.invalid.push((c.line, msg)),
+        }
+    }
+    out
+}
+
+fn parse_one(c: &ContractComment) -> Result<Contract, String> {
+    if let Some(rest) = c.body.strip_prefix("andi::prove_no_overflow") {
+        // Anything after the marker must be a separated remark, not a
+        // mistyped argument list.
+        let rest = rest.trim_start();
+        if rest.is_empty() || rest.starts_with(['—', '-', ':']) {
+            return Ok(Contract::ProveRegion { line: c.line });
+        }
+        return Err("malformed contract; expected `// andi::prove_no_overflow`".to_string());
+    }
+    let Some(rest) = c.body.strip_prefix("andi::assume(") else {
+        return Err(
+            "malformed contract; expected `// andi::assume(<target> in [<lo>, <hi>]) — <reason>`"
+                .to_string(),
+        );
+    };
+    // The target may contain parentheses/brackets; the bounds cannot,
+    // so anchor on the *last* `]` and the `)` that follows it.
+    let Some(rbrack) = rest.rfind(']') else {
+        return Err("malformed assume; missing `[<lo>, <hi>]` bounds".to_string());
+    };
+    let after = rest[rbrack + 1..].trim_start();
+    let Some(reason_raw) = after.strip_prefix(')') else {
+        return Err("malformed assume; missing `)` after the bounds".to_string());
+    };
+    let inside = &rest[..rbrack];
+    let Some(lbrack) = inside.rfind('[') else {
+        return Err("malformed assume; missing `[<lo>, <hi>]` bounds".to_string());
+    };
+    let head = inside[..lbrack].trim_end();
+    let Some(target_src) = head.strip_suffix("in").map(str::trim_end) else {
+        return Err("malformed assume; expected `<target> in [<lo>, <hi>]`".to_string());
+    };
+    if target_src.is_empty() {
+        return Err("malformed assume; empty target".to_string());
+    }
+    let bounds = &inside[lbrack + 1..];
+    let Some((lo_src, hi_src)) = bounds.split_once(',') else {
+        return Err("malformed assume; bounds need `<lo>, <hi>`".to_string());
+    };
+    let lo = parse_bound(lo_src)?;
+    let hi = parse_bound(hi_src)?;
+    if lo > hi {
+        return Err(format!("malformed assume; empty range [{lo}, {hi}]"));
+    }
+    let reason = reason_raw
+        .trim_start()
+        .trim_start_matches(['—', '-', ':', '*'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return Err("assume has no written justification; add `— <reason>`".to_string());
+    }
+    let target = normalize(target_src);
+    if target.is_empty() {
+        return Err("malformed assume; empty target".to_string());
+    }
+    let mut idents: Vec<String> = scan(target_src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text != "self")
+        .map(|t| t.text)
+        .collect();
+    idents.sort();
+    idents.dedup();
+    Ok(Contract::Assume(Assume {
+        line: c.line,
+        target,
+        idents,
+        lo,
+        hi,
+        reason,
+    }))
+}
+
+fn parse_bound(src: &str) -> Result<i128, String> {
+    let cleaned: String = src.trim().chars().filter(|&ch| ch != '_').collect();
+    cleaned.parse::<i128>().map_err(|_| {
+        format!(
+            "malformed assume bound `{}`; expected an integer",
+            src.trim()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::ContractComment;
+
+    fn one(body: &str) -> Result<Contract, String> {
+        parse_one(&ContractComment {
+            line: 3,
+            body: body.to_string(),
+        })
+    }
+
+    #[test]
+    fn region_marker_parses() {
+        assert_eq!(
+            one("andi::prove_no_overflow"),
+            Ok(Contract::ProveRegion { line: 3 })
+        );
+        assert_eq!(
+            one("andi::prove_no_overflow — whole walk is width-proved"),
+            Ok(Contract::ProveRegion { line: 3 })
+        );
+        assert!(one("andi::prove_no_overflow(oops)").is_err());
+    }
+
+    #[test]
+    fn simple_assume_parses() {
+        let Ok(Contract::Assume(a)) = one("andi::assume(total in [-7, 22]) — loop invariant")
+        else {
+            panic!("expected assume");
+        };
+        assert_eq!(a.target, "total");
+        assert_eq!(a.idents, vec!["total"]);
+        assert_eq!((a.lo, a.hi), (-7, 22));
+        assert_eq!(a.reason, "loop invariant");
+    }
+
+    #[test]
+    fn expression_assume_parses() {
+        let Ok(Contract::Assume(a)) =
+            one("andi::assume(avail[j] - choice[j] in [0, 18_446_744_073_709_551_615]) — c <= rem")
+        else {
+            panic!("expected assume");
+        };
+        assert_eq!(a.target, "avail [ j ] - choice [ j ]");
+        assert_eq!(a.idents, vec!["avail", "choice", "j"]);
+        assert_eq!(a.hi, 18_446_744_073_709_551_615);
+    }
+
+    #[test]
+    fn self_is_not_a_free_ident() {
+        let Ok(Contract::Assume(a)) =
+            one("andi::assume(key << self.bits in [0, 3]) — packing guard")
+        else {
+            panic!("expected assume");
+        };
+        assert_eq!(a.target, "key << self . bits");
+        assert_eq!(a.idents, vec!["bits", "key"]);
+    }
+
+    #[test]
+    fn malformed_assumes_are_rejected() {
+        for bad in [
+            "andi::assume(x in [1, 2])",     // no reason
+            "andi::assume(x in [5, 2]) — r", // empty range
+            "andi::assume(x [1, 2]) — r",    // missing `in`
+            "andi::assume(x in [a, 2]) — r", // non-integer bound
+            "andi::assume(x in [1, 2] — r",  // missing `)`
+            "andi::assume x in [1, 2] — r",  // missing `(`
+            "andi::assume( in [1, 2]) — r",  // empty target
+        ] {
+            assert!(one(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn i128_extremes_parse() {
+        let Ok(Contract::Assume(a)) = one(
+            "andi::assume(total in [-170141183460469231731687303715884105728, \
+             170141183460469231731687303715884105727]) — full i128",
+        ) else {
+            panic!("expected assume");
+        };
+        assert_eq!(a.lo, i128::MIN);
+        assert_eq!(a.hi, i128::MAX);
+    }
+}

@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 
 use crate::graph::{call_paren, matching_paren, split_args, CallGraph, SourceFile};
 use crate::lexer::{Token, TokenKind};
-use crate::rules::{in_lib_crate, Finding};
+use crate::rules::{for_loop_expr, in_lib_crate, loop_body_open, matching_brace, Finding};
 
 /// Splits a body token range into flat statement segments at `;`,
 /// `{`, and `}` (any depth except inside parens/brackets, so call
@@ -499,6 +499,157 @@ pub fn result_discard(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
     findings
 }
 
+/// A loop body longer than this many tokens counts as "long" — big
+/// enough to clear every tight fold/update loop in the workspace,
+/// small enough that an unpolled Gray-code walk or swap loop cannot
+/// hide.
+const LONG_LOOP_TOKENS: usize = 80;
+
+/// Identifiers that witness a cancellation/budget poll (or a fault
+/// probe, which only exists inside budgeted task bodies).
+const POLL_IDENTS: &[&str] = &["check", "probe", "is_cancelled", "poll"];
+
+/// Whether a `for` loop's iterated expression has a compile-time
+/// constant trip count: every token is a number literal, a range
+/// punct, parens, or an UPPER_SNAKE constant / const-generic name.
+/// Such loops run a bounded, small number of iterations and are
+/// exempt from the polling contract.
+fn constant_trip(toks: &[Token], expr_lo: usize, expr_hi: usize) -> bool {
+    let expr = &toks[expr_lo..expr_hi.min(toks.len())];
+    !expr.is_empty()
+        && expr.iter().all(|t| match t.kind {
+            TokenKind::Number => true,
+            TokenKind::Punct => matches!(t.text.as_str(), "." | "=" | "(" | ")"),
+            TokenKind::Ident => {
+                !t.text.is_empty() && !t.text.chars().any(|c| c.is_ascii_lowercase())
+            }
+            _ => false,
+        })
+}
+
+/// `poll-reachability`: interprocedural budgeted-loop analysis.
+///
+/// The budgeted entry points are the non-test lib-crate fns with a
+/// `Budget`- or `CancelToken`-typed parameter — the fns that *can*
+/// poll. Every long loop with a non-constant trip count in such a fn
+/// must reach a poll: either a `POLL_IDENTS` identifier directly in
+/// its body, or a call site in its body whose callee *transitively*
+/// polls (computed as a fixpoint over the whole call graph). Helpers
+/// without budget access are checked at their call sites: a helper
+/// that never polls contributes no credit, so a budgeted loop that
+/// delegates all its work to pollless helpers is flagged at the loop
+/// — the one place the fix (a `budget.check()?` per iteration) is
+/// actually possible. Unlike its file-scoped predecessor
+/// (`cancel-blind-loop`), a hot loop cannot dodge the contract by
+/// moving to an unlisted file, and a loop that genuinely polls
+/// through a helper chain needs no suppression.
+pub fn poll_reachability(files: &[SourceFile], g: &CallGraph) -> Vec<Finding> {
+    let n = g.fns.len();
+
+    // The budgeted entry points: fns with the budget in scope.
+    let mut budgeted = vec![false; n];
+    for (u, f) in g.fns.iter().enumerate() {
+        if f.in_test || f.body.is_none() || !in_lib_crate(&files[f.file].path) {
+            continue;
+        }
+        budgeted[u] = f
+            .params
+            .iter()
+            .any(|p| p.ty.contains("Budget") || p.ty.contains("CancelToken"));
+    }
+
+    // Which fns poll, directly or through a callee (fixpoint over the
+    // call graph; edges propagate callee → caller).
+    let mut polls = vec![false; n];
+    for (u, f) in g.fns.iter().enumerate() {
+        let Some((lo, hi)) = f.body else { continue };
+        let toks = &files[f.file].scan.tokens;
+        polls[u] = toks[lo..hi.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && POLL_IDENTS.contains(&t.text.as_str()));
+    }
+    loop {
+        let mut changed = false;
+        for c in &g.calls {
+            if polls[c.callee] && !polls[c.caller] {
+                polls[c.caller] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (u, f) in g.fns.iter().enumerate() {
+        if !budgeted[u] || f.in_test {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let sf = &files[f.file];
+        let toks = &sf.scan.tokens;
+        let hi = hi.min(toks.len());
+        for k in lo..hi {
+            let t = &toks[k];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let body_open = match t.text.as_str() {
+                "loop" => toks
+                    .get(k + 1)
+                    .is_some_and(|n| n.is_punct('{'))
+                    .then_some(k + 1),
+                "while" => loop_body_open(toks, k),
+                "for" => for_loop_expr(toks, k).map(|(_, brace)| brace),
+                _ => None,
+            };
+            let Some(open) = body_open else { continue };
+            let Some(close) = matching_brace(toks, open) else {
+                continue;
+            };
+            let body = &toks[open + 1..close];
+            if body.len() <= LONG_LOOP_TOKENS {
+                continue;
+            }
+            if t.is_ident("for") {
+                if let Some((expr_lo, brace)) = for_loop_expr(toks, k) {
+                    if constant_trip(toks, expr_lo, brace) {
+                        continue;
+                    }
+                }
+            }
+            if body
+                .iter()
+                .any(|b| b.kind == TokenKind::Ident && POLL_IDENTS.contains(&b.text.as_str()))
+            {
+                continue;
+            }
+            if g.calls
+                .iter()
+                .any(|c| c.caller == u && c.tok > open && c.tok < close && polls[c.callee])
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: sf.path.clone(),
+                line: t.line,
+                col: t.col,
+                rule: "poll-reachability",
+                message: format!(
+                    "long `{}` body ({} tokens) in `{}` runs under a budget but never \
+                     reaches a poll; call budget.check()? (directly or via a polling \
+                     helper) so deadlines and cancellation keep working",
+                    t.text,
+                    body.len(),
+                    f.display(),
+                ),
+            });
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +818,102 @@ mod tests {
             result_discard,
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    // A loop body comfortably past LONG_LOOP_TOKENS: ~24 tokens per
+    // statement line, repeated.
+    fn long_body(stmts: usize) -> String {
+        "a = a + b * c - d / e + f * g - h + i * j - k + l * m - n + o * p - q;\n".repeat(stmts)
+    }
+
+    #[test]
+    fn budgeted_pollless_loop_is_flagged() {
+        let src = format!(
+            "pub fn run(budget: &Budget, n: usize) -> u64 {{\n\
+             for i in 0..n {{\n{}}}\n 0\n}}\n",
+            long_body(5)
+        );
+        let f = run(
+            &[("crates/graph/src/a.rs", src.as_str())],
+            poll_reachability,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "poll-reachability");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn loop_polling_through_helper_is_clean() {
+        let src = format!(
+            "pub fn run(budget: &Budget, n: usize) -> u64 {{\n\
+             for i in 0..n {{\n step(budget);\n{}}}\n 0\n}}\n\
+             fn step(budget: &Budget) {{ budget.check(); }}\n",
+            long_body(5)
+        );
+        let f = run(
+            &[("crates/graph/src/a.rs", src.as_str())],
+            poll_reachability,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn delegating_to_a_pollless_helper_earns_no_credit() {
+        // The budgeted loop delegates all its work to a helper that
+        // never polls — the loop is flagged (at the loop, where the
+        // fix is possible), and the helper itself is not.
+        let src = format!(
+            "pub fn run(budget: &Budget, n: usize) -> u64 {{\n\
+             for i in 0..n {{\n inner(i); inner(i + 1);\n{}}}\n 0\n}}\n\
+             fn inner(n: usize) -> u64 {{ n * 3 }}\n",
+            long_body(4)
+        );
+        let f = run(
+            &[("crates/graph/src/a.rs", src.as_str())],
+            poll_reachability,
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("run"), "{}", f[0].message);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn polling_through_a_two_level_helper_chain_is_clean() {
+        // poll credit is a fixpoint: the loop calls `outer`, which
+        // polls only through `step` — two edges away.
+        let src = format!(
+            "pub fn run(budget: &Budget, n: usize) -> u64 {{\n\
+             for i in 0..n {{\n outer(budget);\n{}}}\n 0\n}}\n\
+             fn outer(budget: &Budget) {{ step(budget); }}\n\
+             fn step(budget: &Budget) {{ budget.probe(); }}\n",
+            long_body(5)
+        );
+        let f = run(
+            &[("crates/graph/src/a.rs", src.as_str())],
+            poll_reachability,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn constant_trip_and_unbudgeted_loops_are_clean() {
+        let constant = format!(
+            "pub fn run(budget: &Budget) -> u64 {{\n\
+             for i in 0..SMALL_N {{\n{}}}\n 0\n}}\n",
+            long_body(5)
+        );
+        let unbudgeted = format!(
+            "pub fn free(n: usize) -> u64 {{\n\
+             for i in 0..n {{\n{}}}\n 0\n}}\n",
+            long_body(5)
+        );
+        for src in [constant, unbudgeted] {
+            let f = run(
+                &[("crates/graph/src/a.rs", src.as_str())],
+                poll_reachability,
+            );
+            assert!(f.is_empty(), "{f:?}");
+        }
     }
 
     #[test]

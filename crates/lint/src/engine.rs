@@ -44,6 +44,14 @@ pub fn lint_workspace(inputs: &[(String, String)]) -> Vec<Finding> {
     let (semantic, cut_pragmas) = run_semantic_rules(&files, &graph);
     findings.extend(semantic);
 
+    // Contract-driven interval proofs. The `unchecked-width` and
+    // `assume-soundness` findings are suppressible like any other
+    // rule; contract *hygiene* (malformed, misplaced, or dead
+    // contracts) is appended after the suppression pass below — a
+    // broken contract can never be `andi::allow`'d away.
+    let proved = crate::interval::prove(&files, &graph);
+    findings.extend(proved.findings);
+
     // Pragma suppression + hygiene, per file.
     for (fi, sf) in files.iter().enumerate() {
         let mut used = vec![false; sf.scan.pragmas.len()];
@@ -108,6 +116,10 @@ pub fn lint_workspace(inputs: &[(String, String)]) -> Vec<Finding> {
             }
         }
     }
+
+    // Contract hygiene lands after suppression on purpose: it is not
+    // suppressible.
+    findings.extend(proved.hygiene);
 
     // Global deterministic order; name-collision over-approximation
     // in the call graph can produce identical duplicates — drop them.
@@ -174,6 +186,21 @@ pub fn tree_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
 /// independent of filesystem order.
 pub fn check_tree(root: &Path) -> io::Result<Vec<Finding>> {
     lint_files(&tree_files(root)?)
+}
+
+/// Runs only the interval prover over the tree at `root`: scans and
+/// parses every in-scope file, builds the call graph, and
+/// machine-checks the `andi::prove_no_overflow` regions. This is the
+/// kernel-equivalence entry point — CI runs it next to the
+/// differential tests so a kernel edit that breaks a width proof
+/// fails the same job that exercises the kernel.
+pub fn prove_tree(root: &Path) -> io::Result<crate::interval::Proved> {
+    let mut files = Vec::new();
+    for (virt, real) in tree_files(root)? {
+        files.push(SourceFile::new(&virt, &fs::read_to_string(&real)?));
+    }
+    let graph = build(&files);
+    Ok(crate::interval::prove(&files, &graph))
 }
 
 /// Counts the active suppression pragmas in the tree at `root` —

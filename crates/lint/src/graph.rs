@@ -77,6 +77,10 @@ pub struct FnNode {
     pub params: Vec<Param>,
     /// Normalized return-type text.
     pub ret: String,
+    /// Const generics in scope: the enclosing `impl`/`trait` header's
+    /// (`impl<const N: usize> …`) followed by the fn's own. The
+    /// interval prover seeds these into the abstract environment.
+    pub consts: Vec<Param>,
 }
 
 impl FnNode {
@@ -127,6 +131,25 @@ pub struct CallGraph {
     pub calls: Vec<CallSite>,
     /// Every panic site, in (fn, source) order.
     pub panics: Vec<PanicSite>,
+}
+
+impl CallGraph {
+    /// The unique callee resolved for the call whose name token sits
+    /// at `tok` inside `caller`, or `None` when the site is unlinked
+    /// or ambiguous. The interval prover only trusts unambiguous
+    /// edges for return-interval propagation.
+    pub fn resolve_unique(&self, caller: usize, tok: usize) -> Option<usize> {
+        let mut found = None;
+        for c in &self.calls {
+            if c.caller == caller && c.tok == tok {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(c.callee);
+            }
+        }
+        found
+    }
 }
 
 /// Method names that collide with std types; method calls through
@@ -211,11 +234,19 @@ fn crate_of(path: &str) -> &str {
 
 /// Builds the workspace call graph over the given files.
 pub fn build(files: &[SourceFile]) -> CallGraph {
-    // Collect fn nodes in deterministic (file, source) order.
+    // Collect fn nodes in deterministic (file, source) order,
+    // carrying enclosing impl/trait const generics down to each fn.
     let mut fns: Vec<FnNode> = Vec::new();
-    for (fi, sf) in files.iter().enumerate() {
-        sf.ast.visit(&mut |it| {
+    fn collect(
+        items: &[crate::parser::Item],
+        fi: usize,
+        inherited: &[Param],
+        fns: &mut Vec<FnNode>,
+    ) {
+        for it in items {
             if it.kind == crate::parser::ItemKind::Fn {
+                let mut consts = inherited.to_vec();
+                consts.extend(it.consts.iter().cloned());
                 fns.push(FnNode {
                     file: fi,
                     name: it.name.clone(),
@@ -227,9 +258,23 @@ pub fn build(files: &[SourceFile]) -> CallGraph {
                     body: it.body,
                     params: it.params.clone(),
                     ret: it.ret.clone(),
+                    consts,
                 });
             }
-        });
+            if it.children.is_empty() {
+                continue;
+            }
+            if it.consts.is_empty() {
+                collect(&it.children, fi, inherited, fns);
+            } else {
+                let mut inh = inherited.to_vec();
+                inh.extend(it.consts.iter().cloned());
+                collect(&it.children, fi, &inh, fns);
+            }
+        }
+    }
+    for (fi, sf) in files.iter().enumerate() {
+        collect(&sf.ast.items, fi, &[], &mut fns);
     }
 
     // Name indexes (BTreeMap: deterministic candidate order).

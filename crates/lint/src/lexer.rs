@@ -48,7 +48,10 @@ pub struct Token {
     pub len: usize,
     /// 1-based line of the first character.
     pub line: u32,
-    /// 1-based byte column of the first character.
+    /// 1-based *character* column of the first character. Multi-byte
+    /// UTF-8 in comments or strings earlier on the line (pragma
+    /// reasons with `—`, say) advances this by one per character, not
+    /// one per byte; `start`/`len` remain exact byte offsets.
     pub col: u32,
     /// Lexical class.
     pub kind: TokenKind,
@@ -82,6 +85,20 @@ pub struct Pragma {
     pub reason: String,
 }
 
+/// A *contract* pragma found in a comment: `andi::assume(…)` or
+/// `andi::prove_no_overflow`. Contracts feed the interval prover
+/// ([`crate::contracts`]), not the suppression machinery, so they are
+/// collected separately from [`Pragma`]s and never count against the
+/// suppression ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContractComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The comment body with the `//`/`/*` markers stripped, raw;
+    /// [`crate::contracts::parse`] gives it structure.
+    pub body: String,
+}
+
 /// Result of scanning one source file.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Scan {
@@ -89,6 +106,8 @@ pub struct Scan {
     pub tokens: Vec<Token>,
     /// All suppression pragmas, in source order.
     pub pragmas: Vec<Pragma>,
+    /// All contract pragmas, in source order.
+    pub contracts: Vec<ContractComment>,
 }
 
 /// Scans `source` into tokens and pragmas. Infallible: malformed
@@ -132,7 +151,9 @@ impl<'a> Lexer<'a> {
             self.line += 1;
             self.col = 1;
         } else {
-            self.col += c.len_utf8() as u32;
+            // One column per *character*: a `—` in a comment must not
+            // shift the columns of everything after it by three.
+            self.col += 1;
         }
         Some(c)
     }
@@ -361,6 +382,13 @@ impl<'a> Lexer<'a> {
             .trim_start_matches('/')
             .trim_start_matches(['!', '*'])
             .trim_start();
+        if body.starts_with("andi::assume") || body.starts_with("andi::prove_no_overflow") {
+            self.out.contracts.push(ContractComment {
+                line,
+                body: body.trim_end_matches("*/").trim_end().to_string(),
+            });
+            return;
+        }
         if !body.starts_with("andi::allow") {
             return;
         }
@@ -520,6 +548,35 @@ mod tests {
         let s = scan("// andi::allow(lib-unwrap with no close\nx();");
         assert_eq!(s.pragmas.len(), 1);
         assert!(s.pragmas[0].rule.is_empty());
+    }
+
+    #[test]
+    fn contract_comments_are_collected_separately() {
+        let src = "// andi::assume(n in [1, 22]) — dispatch guard\n\
+                   // andi::prove_no_overflow\n\
+                   // andi::allow(lib-unwrap) — justified\n\
+                   let x = 1;";
+        let s = scan(src);
+        assert_eq!(s.pragmas.len(), 1, "allow stays a suppression pragma");
+        assert_eq!(s.contracts.len(), 2);
+        assert_eq!(s.contracts[0].line, 1);
+        assert_eq!(
+            s.contracts[0].body,
+            "andi::assume(n in [1, 22]) — dispatch guard"
+        );
+        assert_eq!(s.contracts[1].body, "andi::prove_no_overflow");
+    }
+
+    #[test]
+    fn multibyte_comment_does_not_shift_columns() {
+        // The `—` is 3 bytes but one character: the token after the
+        // block comment must sit at the *character* column, while its
+        // byte span stays exact.
+        let src = "/* — dash */ let x = 1;";
+        let s = scan(src);
+        let let_tok = s.tokens.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!(let_tok.col, 14, "character column, not byte column");
+        assert_eq!(&src[let_tok.start..let_tok.start + let_tok.len], "let");
     }
 
     #[test]

@@ -39,18 +39,22 @@
 
 #![forbid(unsafe_code)]
 
+pub mod contracts;
 pub mod dataflow;
 pub mod engine;
 pub mod graph;
+pub mod interval;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 
+pub use contracts::{Assume, Contract, FileContracts};
 pub use engine::{
     check_tree, count_pragmas, format_human, format_json, lint_file, lint_files, lint_source,
-    lint_workspace, tree_files,
+    lint_workspace, prove_tree, tree_files,
 };
 pub use graph::{build, CallGraph, CallSite, FnNode, PanicSite, SourceFile};
-pub use lexer::{scan, Pragma, Scan, Token, TokenKind};
+pub use interval::{prove, Interval, ProofStats, Proved, Ty, TyInfo};
+pub use lexer::{scan, ContractComment, Pragma, Scan, Token, TokenKind};
 pub use parser::{parse, FileAst, Item, ItemKind, Param, Vis};
 pub use rules::{Finding, RuleInfo, RULES};

@@ -3,28 +3,31 @@
 //! ```text
 //! andi-lint check [--root DIR] [--format human|json]
 //! andi-lint check --file PATH --as VIRTUAL [--file … --as …] [--format human|json]
+//! andi-lint prove [--root DIR]
 //! andi-lint rules
 //! ```
 //!
 //! `--file/--as` may repeat: the named files are linted together as
 //! one virtual workspace, which is how the cross-file fixtures
-//! exercise the call graph. Exit codes: 0 = clean, 1 = findings,
-//! 2 = usage/IO error.
+//! exercise the call graph. `prove` runs only the interval prover
+//! over the contract pragmas and prints a proof summary. Exit codes:
+//! 0 = clean, 1 = findings, 2 = usage/IO error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use andi_lint::{check_tree, format_human, format_json, lint_files, RULES};
+use andi_lint::{check_tree, format_human, format_json, lint_files, prove_tree, RULES};
 
 const USAGE: &str = "usage: andi-lint check [--root DIR] [--file PATH --as VIRTUAL]... \
-                     [--format human|json] | andi-lint rules";
+                     [--format human|json] | andi-lint prove [--root DIR] | andi-lint rules";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("prove") => prove(&args[1..]),
         Some("rules") => {
             for r in RULES {
                 println!("{:<26} {:<40} {}", r.name, r.scope, r.summary);
@@ -35,6 +38,61 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn prove(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let proved = match prove_tree(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("andi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all = proved.findings.clone();
+    all.extend(proved.hygiene.iter().cloned());
+    all.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    print!("{}", format_human(&all));
+    println!(
+        "andi-lint prove: {} region{}, {} checked op{}, {} assume{}, {} fn{} analyzed",
+        proved.stats.regions,
+        if proved.stats.regions == 1 { "" } else { "s" },
+        proved.stats.checked_ops,
+        if proved.stats.checked_ops == 1 {
+            ""
+        } else {
+            "s"
+        },
+        proved.stats.assumes,
+        if proved.stats.assumes == 1 { "" } else { "s" },
+        proved.stats.fns_analyzed,
+        if proved.stats.fns_analyzed == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    if all.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 

@@ -91,6 +91,11 @@ pub struct Item {
     pub params: Vec<Param>,
     /// For `Fn`: normalized return-type text (empty when `()`).
     pub ret: String,
+    /// Const generics declared in this item's own `<…>` header
+    /// (`const N: usize` → `Param { name: "N", ty: "usize" }`). For
+    /// `Fn` these are the fn's own; enclosing `impl` headers carry
+    /// their own list (the call graph merges them per fn).
+    pub consts: Vec<Param>,
     /// Whether the item sits in a `#[cfg(test)]` / `#[test]` subtree
     /// (its own attributes or any ancestor's).
     pub in_test: bool,
@@ -242,6 +247,65 @@ impl<'a> Parser<'a> {
         end
     }
 
+    /// Extracts `const NAME: Ty` declarations from a generics group
+    /// body `[lo, hi)` (the tokens strictly inside the `<…>`). Type
+    /// and lifetime parameters are skipped; only const generics carry
+    /// interval information for the prover.
+    fn parse_const_generics(&self, lo: usize, hi: usize) -> Vec<Param> {
+        let hi = hi.min(self.toks.len());
+        let mut out = Vec::new();
+        let mut k = lo;
+        let mut depth = 0i64;
+        while k < hi {
+            let t = &self.toks[k];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.kind == TokenKind::Ident && t.text == "const" {
+                if let Some(name) = self.ident_at(k + 1) {
+                    if self.punct_at(k + 2, ':') {
+                        // Type runs to the next `,` at this depth (or
+                        // the end of the group).
+                        let ty_lo = k + 3;
+                        let mut ty_hi = ty_lo;
+                        let mut d2 = 0i64;
+                        while ty_hi < hi {
+                            let u = &self.toks[ty_hi];
+                            if u.is_punct('<') || u.is_punct('(') || u.is_punct('[') {
+                                d2 += 1;
+                            } else if u.is_punct('>') || u.is_punct(')') || u.is_punct(']') {
+                                if d2 == 0 {
+                                    break;
+                                }
+                                d2 -= 1;
+                            } else if d2 == 0 && u.is_punct(',') {
+                                break;
+                            }
+                            ty_hi += 1;
+                        }
+                        // A `= DEFAULT` tail is not part of the type.
+                        let mut t_end = ty_hi;
+                        for m in ty_lo..ty_hi {
+                            if self.punct_at(m, '=') {
+                                t_end = m;
+                                break;
+                            }
+                        }
+                        out.push(Param {
+                            name: name.to_string(),
+                            ty: join_tokens(&self.toks[ty_lo..t_end]),
+                        });
+                        k = ty_hi;
+                        continue;
+                    }
+                }
+            }
+            k += 1;
+        }
+        out
+    }
+
     /// Parses items in `[i, end)` until exhausted.
     fn parse_items(
         &mut self,
@@ -351,6 +415,7 @@ impl<'a> Parser<'a> {
                 body,
                 params,
                 ret,
+                consts: Vec::new(),
                 in_test,
                 self_of: so,
                 children: Vec::new(),
@@ -361,8 +426,11 @@ impl<'a> Parser<'a> {
                 *i = j + 1;
                 let name = self.ident_at(*i).unwrap_or("").to_string();
                 *i += 1;
+                let mut consts = Vec::new();
                 if self.punct_at(*i, '<') {
-                    *i = self.skip_generics(*i, end);
+                    let after = self.skip_generics(*i, end);
+                    consts = self.parse_const_generics(*i + 1, after.saturating_sub(1));
+                    *i = after;
                 }
                 let mut params = Vec::new();
                 if self.punct_at(*i, '(') {
@@ -391,7 +459,7 @@ impl<'a> Parser<'a> {
                     (None, (*i + 1).min(end)) // the `;`
                 };
                 *i = item_end;
-                Some(mk(
+                let mut item = mk(
                     ItemKind::Fn,
                     name,
                     kw_at,
@@ -400,7 +468,9 @@ impl<'a> Parser<'a> {
                     params,
                     ret,
                     self_of.map(str::to_string),
-                ))
+                );
+                item.consts = consts;
+                Some(item)
             }
             "mod" => {
                 *i = j + 1;
@@ -439,8 +509,11 @@ impl<'a> Parser<'a> {
             }
             "impl" | "trait" => {
                 *i = j + 1;
+                let mut consts = Vec::new();
                 if kw == "impl" && self.punct_at(*i, '<') {
-                    *i = self.skip_generics(*i, end);
+                    let after = self.skip_generics(*i, end);
+                    consts = self.parse_const_generics(*i + 1, after.saturating_sub(1));
+                    *i = after;
                 }
                 // Header up to the `{` (or `;` for `trait A = B;`).
                 let header_start = *i;
@@ -476,6 +549,7 @@ impl<'a> Parser<'a> {
                         String::new(),
                         None,
                     );
+                    item.consts = consts;
                     item.children = children;
                     Some(item)
                 } else {

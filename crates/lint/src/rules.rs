@@ -15,8 +15,10 @@
 //! | `panic-reachability` | no panic transitively reachable from a public API |
 //! | `seed-provenance` | no RNG seed fed from a nondeterministic source |
 //! | `float-merge-order` | no float merge whose grouping tracks the thread count |
-//! | `result-discard` | no `Result` from a fallible core fn silently dropped |
-//! | `cancel-blind-loop` | no long hot-path loop that never polls the budget/cancel token |
+//! | `result-discard` | no `Result` from a fallible workspace fn silently dropped |
+//! | `poll-reachability` | no long budget-reachable loop that never reaches a poll |
+//! | `unchecked-width` | every op in a proven region fits its type's width |
+//! | `assume-soundness` | every `andi::assume` is backed by a runtime guard |
 //!
 //! Token matchers are heuristics over the token stream (there is no
 //! type information), tuned to the idioms of this workspace: they
@@ -28,7 +30,7 @@
 //! scopes, not heuristics) are exempt from every rule — test code
 //! may panic and may time things.
 
-use crate::dataflow::{float_merge_order, result_discard, seed_provenance};
+use crate::dataflow::{float_merge_order, poll_reachability, result_discard, seed_provenance};
 use crate::graph::{panic_reachability, CallGraph, SourceFile};
 use crate::lexer::{Token, TokenKind};
 
@@ -105,9 +107,22 @@ pub const RULES: &[RuleInfo] = &[
         scope: "crates/{core,graph,mining,data}/src",
     },
     RuleInfo {
-        name: "cancel-blind-loop",
-        summary: "long hot-path loop that never polls the budget/cancel token or a fault probe",
-        scope: "crates/graph/src/{permanent,sampler}.rs, crates/core/src/recipe.rs",
+        name: "poll-reachability",
+        summary: "long non-constant loop reachable from a budgeted entry point that \
+                  never reaches a Budget/CancelToken poll, even through calls",
+        scope: "crates/{core,graph,mining,data,oracle}/src",
+    },
+    RuleInfo {
+        name: "unchecked-width",
+        summary: "arithmetic op inside an andi::prove_no_overflow region whose interval \
+                  is not provably within its type's width",
+        scope: "everywhere a prove_no_overflow contract appears",
+    },
+    RuleInfo {
+        name: "assume-soundness",
+        summary: "andi::assume contract with no dominating runtime guard mentioning its \
+                  free identifiers",
+        scope: "everywhere an assume contract appears",
     },
     RuleInfo {
         name: "invalid-pragma",
@@ -151,6 +166,7 @@ pub fn run_semantic_rules(
     findings.extend(seed_provenance(files, graph));
     findings.extend(float_merge_order(files, graph));
     findings.extend(result_discard(files, graph));
+    findings.extend(poll_reachability(files, graph));
     (findings, used)
 }
 
@@ -175,9 +191,6 @@ pub fn run_rules(path: &str, tokens: &[Token], is_test: &[bool]) -> Vec<Finding>
     // worker; it never spawns.
     if path != "crates/graph/src/par.rs" && path != "crates/graph/src/faults.rs" {
         thread_spawn(path, tokens, is_test, &mut findings);
-    }
-    if CANCEL_SCOPED.contains(&path) {
-        cancel_blind_loop(path, tokens, is_test, &mut findings);
     }
     findings
 }
@@ -298,75 +311,9 @@ fn thread_spawn(path: &str, tokens: &[Token], is_test: &[bool], out: &mut Vec<Fi
     }
 }
 
-/// The files whose hot loops carry the budgeted-execution contract:
-/// every long loop must poll the `Budget`/`CancelToken` (or sit at a
-/// fault probe point, which implies a budgeted task boundary).
-const CANCEL_SCOPED: &[&str] = &[
-    "crates/graph/src/permanent.rs",
-    "crates/graph/src/sampler.rs",
-    "crates/core/src/recipe.rs",
-];
-
-/// A loop body longer than this many tokens counts as "long" — big
-/// enough to clear every tight fold/update loop in the scoped files,
-/// small enough that an unpolled Gray-code walk or swap loop cannot
-/// hide.
-const LONG_LOOP_TOKENS: usize = 80;
-
-/// Identifiers that witness a cancellation/budget poll (or a fault
-/// probe, which only exists inside budgeted task bodies).
-const POLL_IDENTS: &[&str] = &["check", "probe", "is_cancelled", "poll"];
-
-/// `cancel-blind-loop`: a `for`/`while`/`loop` body in a scoped
-/// hot-path file that exceeds [`LONG_LOOP_TOKENS`] tokens without any
-/// [`POLL_IDENTS`] call — new heavy loops must stay cancellable (see
-/// CONTRIBUTING.md).
-fn cancel_blind_loop(path: &str, tokens: &[Token], is_test: &[bool], out: &mut Vec<Finding>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if is_test[i] || t.kind != TokenKind::Ident {
-            continue;
-        }
-        let body_open = match t.text.as_str() {
-            "loop" => tokens
-                .get(i + 1)
-                .is_some_and(|n| n.is_punct('{'))
-                .then_some(i + 1),
-            "while" => loop_body_open(tokens, i),
-            "for" => for_loop_expr(tokens, i).map(|(_, brace)| brace),
-            _ => None,
-        };
-        let Some(open) = body_open else { continue };
-        let Some(close) = matching_brace(tokens, open) else {
-            continue;
-        };
-        let body = &tokens[open + 1..close];
-        if body.len() <= LONG_LOOP_TOKENS {
-            continue;
-        }
-        if body
-            .iter()
-            .any(|b| b.kind == TokenKind::Ident && POLL_IDENTS.contains(&b.text.as_str()))
-        {
-            continue;
-        }
-        out.push(finding(
-            path,
-            t,
-            "cancel-blind-loop",
-            format!(
-                "long `{}` body ({} tokens) never polls the budget or cancel token; \
-                 call budget.check()? (or run inside a budgeted task) so deadlines \
-                 and cancellation keep working",
-                t.text,
-                body.len()
-            ),
-        ));
-    }
-}
-
 /// For a `while` keyword at `i`, the index of the body `{` (the first
 /// brace outside any parens/brackets in the condition).
-fn loop_body_open(tokens: &[Token], i: usize) -> Option<usize> {
+pub(crate) fn loop_body_open(tokens: &[Token], i: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (k, t) in tokens.iter().enumerate().skip(i + 1).take(200) {
         if t.is_punct('(') || t.is_punct('[') {
@@ -381,7 +328,7 @@ fn loop_body_open(tokens: &[Token], i: usize) -> Option<usize> {
 }
 
 /// For an opening `{` at `open`, the index of its matching `}`.
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('{') {
@@ -543,7 +490,7 @@ fn binding_name(tokens: &[Token], j: usize) -> Option<String> {
 
 /// For a `for` keyword at `i`, the token range of the loop
 /// expression: from after `in` to the body `{`.
-fn for_loop_expr(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
+pub(crate) fn for_loop_expr(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
     let mut depth = 0i32;
     let mut in_at = None;
     for (k, t) in tokens.iter().enumerate().skip(i + 1).take(200) {
