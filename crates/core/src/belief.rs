@@ -41,8 +41,10 @@ use crate::error::{Error, Result};
 /// assert!(exact.refines(&ballpark));
 /// assert!(ballpark.refines(&ignorant));
 /// ```
+// andi::declassify(Debug renders belief intervals for test diagnostics and oracle counterexamples; adversary-visible outputs go through Provenance)
 #[derive(Clone, Debug, PartialEq)]
 pub struct BeliefFunction {
+    // andi::sensitive — the adversary's per-item belief intervals [l, u]
     intervals: Vec<(f64, f64)>,
 }
 

@@ -37,7 +37,17 @@ impl fmt::Display for Error {
                 write!(f, "domain size mismatch: expected {expected}, got {got}")
             }
             Error::InvalidInterval { item, low, high } => {
-                write!(f, "item {item}: invalid belief interval [{low}, {high}]")
+                // The endpoints are belief masses derived from the
+                // owner's data; rendering them would leak through
+                // error channels. Name the failure shape, not the
+                // values (the oracle's structured JSON path carries
+                // them where a machine consumer is sanctioned).
+                let shape = if low > high {
+                    "inverted"
+                } else {
+                    "endpoint outside [0, 1]"
+                };
+                write!(f, "item {item}: invalid belief interval ({shape})")
             }
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::EmptyMappingSpace => {
@@ -98,6 +108,7 @@ mod tests {
             high: 0.3,
         };
         assert!(e.to_string().contains("item 2"));
+        assert!(e.to_string().contains("inverted"));
         assert!(Error::EmptyMappingSpace.to_string().contains("empty"));
         assert!(Error::InvalidParameter("tau".into())
             .to_string()
@@ -114,6 +125,29 @@ mod tests {
             .contains("250 ms"));
         assert!(Error::Cancelled.to_string().contains("cancelled"));
         assert!(Error::Overflow("i128".into()).to_string().contains("i128"));
+    }
+
+    #[test]
+    fn invalid_interval_display_never_echoes_endpoints() {
+        // Regression pin for the leak-in-error fix: belief-interval
+        // endpoints are derived from the owner's data and must not
+        // surface in the human-readable error channel.
+        let e = Error::InvalidInterval {
+            item: 4,
+            low: 0.7,
+            high: 0.3,
+        };
+        assert_eq!(e.to_string(), "item 4: invalid belief interval (inverted)");
+        let e = Error::InvalidInterval {
+            item: 1,
+            low: -0.25,
+            high: 1.5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "item 1: invalid belief interval (endpoint outside [0, 1])"
+        );
+        assert!(!e.to_string().contains("0.25") && !e.to_string().contains("1.5"));
     }
 
     #[test]

@@ -11,9 +11,11 @@ use crate::item::ItemId;
 use crate::transaction::Transaction;
 
 /// A transaction database over a dense domain of `n_items` items.
+// andi::declassify(Debug renders the full transaction list for test diagnostics and oracle counterexample shrinking; no production path formats a Database)
 #[derive(Clone, Debug)]
 pub struct Database {
     n_items: usize,
+    // andi::sensitive — every owner's raw transaction row
     transactions: Vec<Transaction>,
 }
 
@@ -30,11 +32,13 @@ impl Database {
             return Err("a database must contain at least one transaction".into());
         }
         for (i, t) in transactions.iter().enumerate() {
-            // Items are sorted, so checking the maximum suffices.
+            // Items are sorted, so checking the maximum suffices. The
+            // error reports the index and domain only — naming the
+            // item would echo an element of the owner's basket.
             if let Some(&max) = t.items().last() {
                 if max.index() >= n_items {
                     return Err(format!(
-                        "transaction {i} references item {max} outside domain 0..{n_items}"
+                        "transaction {i} references an item outside domain 0..{n_items}"
                     ));
                 }
             }
@@ -219,21 +223,27 @@ pub fn bigmart() -> Database {
     // Item k occupies a contiguous run of transactions:
     //   item0: t0..t4, item1: t0..t3, item2: t2..t6,
     //   item3: t4..t8, item4: t7..t9, item5: t5..t9.
-    let raw: Vec<Vec<u32>> = vec![
-        vec![0, 1],
-        vec![0, 1],
-        vec![0, 1, 2],
-        vec![0, 1, 2],
-        vec![0, 2, 3],
-        vec![2, 3, 5],
-        vec![2, 3, 5],
-        vec![3, 4, 5],
-        vec![3, 4, 5],
-        vec![4, 5],
+    //
+    // Each row is sorted, duplicate-free, and within 0..6, so the
+    // trusted constructors apply directly — no fallible path, no
+    // suppression; debug builds re-check the invariants.
+    let raw: [&[u32]; 10] = [
+        &[0, 1],
+        &[0, 1],
+        &[0, 1, 2],
+        &[0, 1, 2],
+        &[0, 2, 3],
+        &[2, 3, 5],
+        &[2, 3, 5],
+        &[3, 4, 5],
+        &[3, 4, 5],
+        &[4, 5],
     ];
-    let refs: Vec<&[u32]> = raw.iter().map(|v| v.as_slice()).collect();
-    // andi::allow(lib-unwrap) — validates a fixed compile-time literal; covered by the bigmart tests
-    Database::from_raw(6, &refs).expect("bigmart is well-formed")
+    let txs = raw
+        .iter()
+        .map(|r| Transaction::from_sorted_unique(r.iter().map(|&x| ItemId(x)).collect()))
+        .collect();
+    Database::from_trusted(6, txs)
 }
 
 #[cfg(test)]

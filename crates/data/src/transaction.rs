@@ -11,8 +11,10 @@ use crate::item::ItemId;
 
 /// A single transaction: a sorted, duplicate-free, non-empty set of
 /// items.
+// andi::declassify(Debug renders item ids for test diagnostics and oracle counterexample shrinking; no production path formats a Transaction)
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Transaction {
+    // andi::sensitive — the raw market basket: which items an owner bought
     items: Box<[ItemId]>,
 }
 

@@ -1,0 +1,30 @@
+//! Taint fixture: raw sensitive data smuggled into an error payload.
+//! Error channels surface in logs and bug reports, so `leak-in-error`
+//! must fire on the constructor argument.
+
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+pub enum StoreError {
+    Corrupt(String),
+}
+
+/// Leaks: the error message echoes the raw row it rejected.
+pub fn validate(b: &Basket) -> Result<(), StoreError> {
+    if b.len() > 64 {
+        return Err(StoreError::Corrupt(format!("oversized row {:?}", b.items())));
+    }
+    Ok(())
+}

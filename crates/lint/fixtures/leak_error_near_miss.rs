@@ -1,0 +1,33 @@
+//! Taint near-miss: the rejection path reports position and size
+//! only — ids/counts/lengths are the sanctioned error vocabulary.
+//! No rule may fire.
+
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+pub enum StoreError {
+    Corrupt(String),
+}
+
+/// Clean: the error names how big the row was, never what was in it.
+pub fn validate(b: &Basket) -> Result<(), StoreError> {
+    if b.len() > 64 {
+        return Err(StoreError::Corrupt(format!(
+            "oversized row ({} items, limit 64)",
+            b.len()
+        )));
+    }
+    Ok(())
+}

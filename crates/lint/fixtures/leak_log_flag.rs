@@ -1,0 +1,23 @@
+//! Taint fixture: raw sensitive data reaching a logging sink. The
+//! `audit_log` body renders the owner's item list, so `leak-to-log`
+//! must fire and name both the source projection and the sink.
+
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Leaks: the raw item list flows into a format sink.
+pub fn audit_log(b: &Basket) -> String {
+    format!("basket = {:?}", b.items())
+}

@@ -1,0 +1,24 @@
+//! Taint near-miss: the same sensitive struct, but the log line
+//! carries only a counting aggregate — the sanctioned shape for
+//! operational logging. No rule may fire.
+
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Clean: lengths and counts are aggregates, not contents.
+pub fn audit_log(b: &Basket) -> String {
+    let distinct = b.items().len();
+    format!("basket of {} items ({distinct} distinct)", b.len())
+}

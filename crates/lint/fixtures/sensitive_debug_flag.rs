@@ -1,0 +1,15 @@
+//! Taint fixture: `#[derive(Debug)]` on a directly annotated type
+//! without a declassification boundary. The derived formatter renders
+//! every field, so `sensitive-debug` must fire on the derive.
+
+#[derive(Clone, Debug)]
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+}

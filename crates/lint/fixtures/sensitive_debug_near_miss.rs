@@ -1,0 +1,17 @@
+//! Taint near-miss: the same derive, but behind an audited
+//! `andi::declassify` boundary. The pragma sanctions the Debug
+//! rendering and joins the inventory; no finding and no hygiene
+//! report may fire.
+
+// andi::declassify(fixture Debug is exercised only by this crate's own golden tests)
+#[derive(Clone, Debug)]
+pub struct Basket {
+    // andi::sensitive — the owner's raw purchase row
+    items: Vec<u64>,
+}
+
+impl Basket {
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+}

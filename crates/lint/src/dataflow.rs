@@ -27,7 +27,7 @@ use crate::rules::{for_loop_expr, in_lib_crate, loop_body_open, matching_brace, 
 /// Splits a body token range into flat statement segments at `;`,
 /// `{`, and `}` (any depth except inside parens/brackets, so call
 /// arguments stay whole).
-fn statements(toks: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+pub(crate) fn statements(toks: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut depth = 0i64;
     let mut seg = lo;

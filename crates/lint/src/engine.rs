@@ -52,6 +52,13 @@ pub fn lint_workspace(inputs: &[(String, String)]) -> Vec<Finding> {
     let proved = crate::interval::prove(&files, &graph);
     findings.extend(proved.findings);
 
+    // Information-flow layer: leak findings are suppressible (though
+    // the idiomatic sanction is `andi::declassify`, which the pass
+    // applies internally); its pragma hygiene joins the contract
+    // hygiene after the suppression pass.
+    let taint = crate::taint::analyze(&files, &graph);
+    findings.extend(taint.findings);
+
     // Pragma suppression + hygiene, per file.
     for (fi, sf) in files.iter().enumerate() {
         let mut used = vec![false; sf.scan.pragmas.len()];
@@ -117,9 +124,10 @@ pub fn lint_workspace(inputs: &[(String, String)]) -> Vec<Finding> {
         }
     }
 
-    // Contract hygiene lands after suppression on purpose: it is not
-    // suppressible.
+    // Contract and annotation hygiene land after suppression on
+    // purpose: they are not suppressible.
     findings.extend(proved.hygiene);
+    findings.extend(taint.hygiene);
 
     // Global deterministic order; name-collision over-approximation
     // in the call graph can produce identical duplicates — drop them.
@@ -203,6 +211,32 @@ pub fn prove_tree(root: &Path) -> io::Result<crate::interval::Proved> {
     Ok(crate::interval::prove(&files, &graph))
 }
 
+/// Runs only the information-flow layer over the tree at `root`:
+/// scans and parses every in-scope file, builds the call graph, and
+/// traces `andi::sensitive` sources to disclosure sinks. This is the
+/// `andi-lint taint` entry point — CI gates on zero findings and
+/// archives the flow stats as a reviewable artifact.
+pub fn taint_tree(root: &Path) -> io::Result<crate::taint::TaintReport> {
+    let mut files = Vec::new();
+    for (virt, real) in tree_files(root)? {
+        files.push(SourceFile::new(&virt, &fs::read_to_string(&real)?));
+    }
+    let graph = build(&files);
+    Ok(crate::taint::analyze(&files, &graph))
+}
+
+/// Counts the active `andi::declassify` boundaries in the tree at
+/// `root`. The burn-down test pins this as a decreasing ceiling —
+/// the declassification inventory can only shrink without review.
+pub fn count_declassifies(root: &Path) -> io::Result<usize> {
+    let mut n = 0;
+    for (_, real) in tree_files(root)? {
+        let source = fs::read_to_string(&real)?;
+        n += crate::lexer::scan(&source).declassifies.len();
+    }
+    Ok(n)
+}
+
 /// Counts the active suppression pragmas in the tree at `root` —
 /// every `// andi::allow(…)` the lexer collects from walked files
 /// (fixtures, vendored code, and docs that merely mention the
@@ -271,6 +305,62 @@ pub fn format_json(findings: &[Finding]) -> String {
         s.push('\n');
     }
     s.push_str("]\n");
+    s
+}
+
+/// Renders findings as a minimal SARIF 2.1.0 log (one run, one
+/// driver). Field order is fixed and findings arrive pre-sorted from
+/// [`lint_workspace`], so the output is byte-stable for a given
+/// finding set regardless of input order. The rule catalogue embeds
+/// only the rules that actually fired, keeping the log small and the
+/// bytes independent of unrelated catalogue growth.
+pub fn format_sarif(findings: &[Finding]) -> String {
+    let mut fired: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    fired.sort_unstable();
+    fired.dedup();
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"andi-lint\",\n          \"rules\": [",
+    );
+    for (i, name) in fired.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let summary = crate::rules::RULES
+            .iter()
+            .find(|r| r.name == *name)
+            .map(|r| r.summary)
+            .unwrap_or("");
+        s.push_str(&format!(
+            "\n            {{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(name),
+            json_str(summary)
+        ));
+    }
+    if !fired.is_empty() {
+        s.push_str("\n          ");
+    }
+    s.push_str("]\n        }\n      },\n      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line,
+            f.col
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
     s
 }
 

@@ -99,6 +99,33 @@ pub struct ContractComment {
     pub body: String,
 }
 
+/// An `andi::sensitive` source annotation: marks the type, field, or
+/// accessor on the next (or same) line as carrying data that must not
+/// reach a disclosure sink. Feeds the taint layer ([`crate::taint`]),
+/// not the suppression machinery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensitiveMark {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Optional note after the bare marker (separator-stripped);
+    /// purely documentary.
+    pub note: String,
+}
+
+/// An `andi::declassify(<reason>)` pragma: sanctions a disclosure
+/// boundary the taint layer would otherwise flag. The reason lives
+/// *inside* the parentheses (unlike `andi::allow`, whose reason
+/// follows them) because a declassification is meaningless without
+/// one — an empty reason is malformed by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Declassify {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The audit justification between the parentheses; empty means
+    /// the pragma was malformed and must be flagged.
+    pub reason: String,
+}
+
 /// Result of scanning one source file.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Scan {
@@ -108,6 +135,10 @@ pub struct Scan {
     pub pragmas: Vec<Pragma>,
     /// All contract pragmas, in source order.
     pub contracts: Vec<ContractComment>,
+    /// All `andi::sensitive` source annotations, in source order.
+    pub sensitives: Vec<SensitiveMark>,
+    /// All `andi::declassify(…)` boundary pragmas, in source order.
+    pub declassifies: Vec<Declassify>,
 }
 
 /// Scans `source` into tokens and pragmas. Infallible: malformed
@@ -126,21 +157,37 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
+        let mut out = Scan::default();
+        // Rust source runs ~6 bytes/token; one up-front reservation
+        // avoids re-copying the token vec through its growth doublings.
+        out.tokens.reserve(src.len() / 6);
         Lexer {
             src,
             pos: 0,
             line: 1,
             col: 1,
-            out: Scan::default(),
+            out,
         }
     }
 
     fn peek(&self) -> Option<char> {
-        self.src[self.pos..].chars().next()
+        // ASCII fast path: the scanner peeks several times per byte,
+        // and a full UTF-8 decode on each peek dominates scan time.
+        let b = *self.src.as_bytes().get(self.pos)?;
+        if b < 0x80 {
+            Some(b as char)
+        } else {
+            self.src[self.pos..].chars().next()
+        }
     }
 
     fn peek_at(&self, byte_ahead: usize) -> Option<char> {
-        self.src.get(self.pos + byte_ahead..)?.chars().next()
+        let b = *self.src.as_bytes().get(self.pos + byte_ahead)?;
+        if b < 0x80 {
+            Some(b as char)
+        } else {
+            self.src.get(self.pos + byte_ahead..)?.chars().next()
+        }
     }
 
     /// Consumes one char, maintaining line/col accounting.
@@ -174,7 +221,27 @@ impl<'a> Lexer<'a> {
             let (start, line, col) = (self.pos, self.line, self.col);
             match c {
                 c if c.is_whitespace() => {
-                    self.bump();
+                    // Batch the run on bytes; non-ASCII whitespace
+                    // falls back to the char path.
+                    loop {
+                        match self.src.as_bytes().get(self.pos) {
+                            Some(b'\n') => {
+                                self.pos += 1;
+                                self.line += 1;
+                                self.col = 1;
+                            }
+                            Some(&b) if b < 0x80 && (b as char).is_whitespace() => {
+                                self.pos += 1;
+                                self.col += 1;
+                            }
+                            Some(&b)
+                                if b >= 0x80 && self.peek().is_some_and(char::is_whitespace) =>
+                            {
+                                self.bump();
+                            }
+                            _ => break,
+                        }
+                    }
                 }
                 '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
                 '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
@@ -312,8 +379,19 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self) {
-        while self.peek().is_some_and(is_ident_continue) {
-            self.bump();
+        // Byte loop for the ASCII run; a non-ASCII byte falls back to
+        // the char path (idents can continue with unicode).
+        loop {
+            match self.src.as_bytes().get(self.pos) {
+                Some(&b) if b == b'_' || b.is_ascii_alphanumeric() => {
+                    self.pos += 1;
+                    self.col += 1;
+                }
+                Some(&b) if b >= 0x80 && self.peek().is_some_and(is_ident_continue) => {
+                    self.bump();
+                }
+                _ => break,
+            }
         }
     }
 
@@ -335,15 +413,13 @@ impl<'a> Lexer<'a> {
     }
 
     fn line_comment(&mut self, line: u32) {
+        // Runs to end of line, so per-char column accounting is
+        // unneeded: the next char is the newline (or EOF), and the
+        // newline's bump resets the column anyway.
+        let src = self.src;
         let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c == '\n' {
-                break;
-            }
-            self.bump();
-        }
-        let text = self.src[start..self.pos].to_string();
-        self.collect_pragma(&text, line);
+        self.pos = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        self.collect_pragma(&src[start..self.pos], line);
     }
 
     fn block_comment(&mut self, line: u32) {
@@ -369,8 +445,8 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        let text = self.src[start..self.pos].to_string();
-        self.collect_pragma(&text, line);
+        let src = self.src;
+        self.collect_pragma(&src[start..self.pos], line);
     }
 
     /// Extracts an `andi::allow(rule) — reason` pragma from comment
@@ -387,6 +463,29 @@ impl<'a> Lexer<'a> {
                 line,
                 body: body.trim_end_matches("*/").trim_end().to_string(),
             });
+            return;
+        }
+        if let Some(after) = body.strip_prefix("andi::sensitive") {
+            let note = after
+                .trim_start()
+                .trim_start_matches(['—', '-', ':', '*'])
+                .trim()
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            self.out.sensitives.push(SensitiveMark { line, note });
+            return;
+        }
+        if let Some(after) = body.strip_prefix("andi::declassify") {
+            let rest = after.trim_start();
+            // The reason sits between the parens; inner parens are
+            // allowed, so match the *last* close. Anything malformed
+            // degrades to an empty reason for the hygiene pass.
+            let reason = rest
+                .strip_prefix('(')
+                .and_then(|r| r.rfind(')').map(|close| r[..close].trim().to_string()))
+                .unwrap_or_default();
+            self.out.declassifies.push(Declassify { line, reason });
             return;
         }
         if !body.starts_with("andi::allow") {
@@ -565,6 +664,44 @@ mod tests {
             "andi::assume(n in [1, 22]) — dispatch guard"
         );
         assert_eq!(s.contracts[1].body, "andi::prove_no_overflow");
+    }
+
+    #[test]
+    fn sensitive_marks_are_collected() {
+        let src = "// andi::sensitive — raw item contents\nitems: Box<[ItemId]>,\n\
+                   // andi::sensitive\npub struct T;";
+        let s = scan(src);
+        assert_eq!(s.sensitives.len(), 2);
+        assert_eq!(s.sensitives[0].line, 1);
+        assert_eq!(s.sensitives[0].note, "raw item contents");
+        assert_eq!(s.sensitives[1].line, 3);
+        assert!(s.sensitives[1].note.is_empty());
+        assert!(s.pragmas.is_empty(), "sensitive is not a suppression");
+    }
+
+    #[test]
+    fn declassify_reason_lives_inside_the_parens() {
+        let src = "// andi::declassify(FIMI export (audited): whole-row output)\nw.write_all(b);";
+        let s = scan(src);
+        assert_eq!(s.declassifies.len(), 1);
+        assert_eq!(s.declassifies[0].line, 1);
+        assert_eq!(
+            s.declassifies[0].reason,
+            "FIMI export (audited): whole-row output"
+        );
+    }
+
+    #[test]
+    fn malformed_declassify_records_empty_reason() {
+        for src in [
+            "// andi::declassify\nx();",
+            "// andi::declassify(never closed\nx();",
+            "// andi::declassify()\nx();",
+        ] {
+            let s = scan(src);
+            assert_eq!(s.declassifies.len(), 1, "{src}");
+            assert!(s.declassifies[0].reason.is_empty(), "{src}");
+        }
     }
 
     #[test]

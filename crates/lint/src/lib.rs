@@ -47,14 +47,16 @@ pub mod interval;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod taint;
 
 pub use contracts::{Assume, Contract, FileContracts};
 pub use engine::{
-    check_tree, count_pragmas, format_human, format_json, lint_file, lint_files, lint_source,
-    lint_workspace, prove_tree, tree_files,
+    check_tree, count_declassifies, count_pragmas, format_human, format_json, format_sarif,
+    lint_file, lint_files, lint_source, lint_workspace, prove_tree, taint_tree, tree_files,
 };
 pub use graph::{build, CallGraph, CallSite, FnNode, PanicSite, SourceFile};
 pub use interval::{prove, Interval, ProofStats, Proved, Ty, TyInfo};
-pub use lexer::{scan, ContractComment, Pragma, Scan, Token, TokenKind};
+pub use lexer::{scan, ContractComment, Declassify, Pragma, Scan, SensitiveMark, Token, TokenKind};
 pub use parser::{parse, FileAst, Item, ItemKind, Param, Vis};
 pub use rules::{Finding, RuleInfo, RULES};
+pub use taint::{analyze, DeclassifySite, TaintReport, TaintStats};

@@ -1,33 +1,40 @@
 //! CLI for `andi-lint`.
 //!
 //! ```text
-//! andi-lint check [--root DIR] [--format human|json]
-//! andi-lint check --file PATH --as VIRTUAL [--file … --as …] [--format human|json]
+//! andi-lint check [--root DIR] [--format human|json|sarif]
+//! andi-lint check --file PATH --as VIRTUAL [--file … --as …] [--format human|json|sarif]
 //! andi-lint prove [--root DIR]
+//! andi-lint taint [--root DIR] [--format human|json]
 //! andi-lint rules
 //! ```
 //!
 //! `--file/--as` may repeat: the named files are linted together as
 //! one virtual workspace, which is how the cross-file fixtures
 //! exercise the call graph. `prove` runs only the interval prover
-//! over the contract pragmas and prints a proof summary. Exit codes:
-//! 0 = clean, 1 = findings, 2 = usage/IO error.
+//! over the contract pragmas and prints a proof summary. `taint`
+//! runs only the information-flow layer and prints the
+//! source→…→sink flow stats plus the declassify inventory. Exit
+//! codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use andi_lint::{check_tree, format_human, format_json, lint_files, prove_tree, RULES};
+use andi_lint::{
+    check_tree, format_human, format_json, format_sarif, lint_files, prove_tree, taint_tree, RULES,
+};
 
 const USAGE: &str = "usage: andi-lint check [--root DIR] [--file PATH --as VIRTUAL]... \
-                     [--format human|json] | andi-lint prove [--root DIR] | andi-lint rules";
+                     [--format human|json|sarif] | andi-lint prove [--root DIR] | \
+                     andi-lint taint [--root DIR] [--format human|json] | andi-lint rules";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
         Some("prove") => prove(&args[1..]),
+        Some("taint") => taint(&args[1..]),
         Some("rules") => {
             for r in RULES {
                 println!("{:<26} {:<40} {}", r.name, r.scope, r.summary);
@@ -96,6 +103,121 @@ fn prove(args: &[String]) -> ExitCode {
     }
 }
 
+fn taint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "human".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "human" || v == "json" => format = v.clone(),
+                _ => {
+                    eprintln!("--format must be human or json");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match taint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("andi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all = report.findings.clone();
+    all.extend(report.hygiene.iter().cloned());
+    all.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let s = &report.stats;
+    if format == "json" {
+        // Structured flow stats for the CI artifact: findings first,
+        // then the declassify inventory with its sanctioned chains.
+        print!("{}", format_json(&all));
+        println!("{{");
+        println!(
+            "  \"sensitive_types\": {}, \"sensitive_members\": {}, \"bearing_types\": {},",
+            s.sensitive_types.len(),
+            s.sensitive_members,
+            s.bearing_types.len()
+        );
+        println!(
+            "  \"fns_analyzed\": {}, \"raw_returning_fns\": {}, \"sink_sites\": {},",
+            s.fns_analyzed, s.raw_returning_fns, s.sink_sites
+        );
+        println!("  \"declassifies\": [");
+        let esc = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"");
+        for (i, d) in s.declassifies.iter().enumerate() {
+            let flows: Vec<String> = d.flows.iter().map(|f| format!("\"{}\"", esc(f))).collect();
+            println!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \"flows\": [{}]}}{}",
+                esc(&d.file),
+                d.line,
+                esc(&d.reason),
+                flows.join(", "),
+                if i + 1 == s.declassifies.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        print!("{}", format_human(&all));
+        println!(
+            "andi-lint taint: {} sensitive type{} ({} member{}), {} bearing type{}, \
+             {} fn{} analyzed, {} raw-returning, {} sink site{}",
+            s.sensitive_types.len(),
+            if s.sensitive_types.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            s.sensitive_members,
+            if s.sensitive_members == 1 { "" } else { "s" },
+            s.bearing_types.len(),
+            if s.bearing_types.len() == 1 { "" } else { "s" },
+            s.fns_analyzed,
+            if s.fns_analyzed == 1 { "" } else { "s" },
+            s.raw_returning_fns,
+            s.sink_sites,
+            if s.sink_sites == 1 { "" } else { "s" },
+        );
+        println!(
+            "declassify inventory ({} boundar{}):",
+            s.declassifies.len(),
+            if s.declassifies.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+        for d in &s.declassifies {
+            println!("  {}:{} — {}", d.file, d.line, d.reason);
+            for f in &d.flows {
+                println!("    {f}");
+            }
+        }
+    }
+    if all.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = "human".to_string();
@@ -117,9 +239,9 @@ fn check(args: &[String]) -> ExitCode {
                 None => return ExitCode::from(2),
             },
             "--format" => match take("--format") {
-                Some(v) if v == "human" || v == "json" => format = v,
+                Some(v) if v == "human" || v == "json" || v == "sarif" => format = v,
                 _ => {
-                    eprintln!("--format must be human or json");
+                    eprintln!("--format must be human, json, or sarif");
                     return ExitCode::from(2);
                 }
             },
@@ -157,6 +279,7 @@ fn check(args: &[String]) -> ExitCode {
 
     match format.as_str() {
         "json" => print!("{}", format_json(&findings)),
+        "sarif" => print!("{}", format_sarif(&findings)),
         _ => print!("{}", format_human(&findings)),
     }
     if findings.is_empty() {

@@ -19,6 +19,9 @@
 //! | `poll-reachability` | no long budget-reachable loop that never reaches a poll |
 //! | `unchecked-width` | every op in a proven region fits its type's width |
 //! | `assume-soundness` | every `andi::assume` is backed by a runtime guard |
+//! | `leak-to-log` | no sensitive data reaches a format/log/write sink undeclared |
+//! | `leak-in-error` | no sensitive data flows into error payloads or error `Display` |
+//! | `sensitive-debug` | no `Debug` on a sensitive type without declassification |
 //!
 //! Token matchers are heuristics over the token stream (there is no
 //! type information), tuned to the idioms of this workspace: they
@@ -125,13 +128,32 @@ pub const RULES: &[RuleInfo] = &[
         scope: "everywhere an assume contract appears",
     },
     RuleInfo {
+        name: "leak-to-log",
+        summary: "sensitive data (andi::sensitive sources) reaching a format!/log/write \
+                  sink without an andi::declassify boundary",
+        scope: "every non-test fn body",
+    },
+    RuleInfo {
+        name: "leak-in-error",
+        summary: "sensitive data flowing into an Error constructor payload or an error \
+                  Display body",
+        scope: "every non-test fn body",
+    },
+    RuleInfo {
+        name: "sensitive-debug",
+        summary: "#[derive(Debug)] or manual Debug impl on an andi::sensitive type \
+                  without declassification",
+        scope: "every non-test type definition",
+    },
+    RuleInfo {
         name: "invalid-pragma",
-        summary: "andi::allow pragma without a rule name or written justification",
+        summary: "andi::allow/declassify/sensitive pragma without a rule name, target, \
+                  or written justification",
         scope: "everywhere",
     },
     RuleInfo {
         name: "unused-pragma",
-        summary: "andi::allow pragma that suppresses nothing",
+        summary: "andi::allow or andi::declassify pragma that suppresses/sanctions nothing",
         scope: "everywhere",
     },
 ];
