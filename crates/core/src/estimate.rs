@@ -125,22 +125,71 @@ pub fn best_expected_cracks(graph: &GroupedBigraph, state_budget: usize) -> Resu
     })
 }
 
-/// Entry cap on the profile memo; the cache is cleared wholesale when
-/// it fills (profiles are cheap to rebuild, the cap only bounds
-/// memory on long α/τ sweeps over many distinct beliefs).
+/// Entry cap on the profile memo. Eviction is per-entry LRU (not a
+/// wholesale clear): a long-running server sweeping many distinct
+/// beliefs keeps its hot working set while cold entries age out.
 const PROFILE_CACHE_CAP: usize = 256;
 
-type ProfileCache = Mutex<BTreeMap<(u64, bool), Arc<OutdegreeProfile>>>;
+/// A bounded, deterministic least-recently-used memo.
+///
+/// Recency is a logical tick counter bumped on every hit and insert —
+/// no wall clock — so eviction order is a pure function of the access
+/// sequence. When full, the entry with the smallest tick is evicted;
+/// ties are impossible (ticks are unique) and the scan walks the
+/// `BTreeMap` in key order, so the behavior is identical across runs
+/// and thread counts for a fixed access sequence.
+struct ProfileLru {
+    tick: u64,
+    entries: BTreeMap<(u64, bool), (u64, Arc<OutdegreeProfile>)>,
+}
+
+impl ProfileLru {
+    const fn new() -> Self {
+        ProfileLru {
+            tick: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn get(&mut self, key: &(u64, bool)) -> Option<Arc<OutdegreeProfile>> {
+        let tick = self.touch();
+        let (last_used, profile) = self.entries.get_mut(key)?;
+        *last_used = tick;
+        Some(Arc::clone(profile))
+    }
+
+    fn insert(&mut self, key: (u64, bool), profile: Arc<OutdegreeProfile>) {
+        let tick = self.touch();
+        if !self.entries.contains_key(&key) && self.entries.len() >= PROFILE_CACHE_CAP {
+            if let Some(coldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&coldest);
+            }
+        }
+        self.entries.insert(key, (tick, profile));
+    }
+}
+
+type ProfileCache = Mutex<ProfileLru>;
 
 fn profile_cache() -> &'static ProfileCache {
     static CACHE: OnceLock<ProfileCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+    CACHE.get_or_init(|| Mutex::new(ProfileLru::new()))
 }
 
 /// Locks the cache, tolerating poisoning: the guarded map is a pure
 /// memo, so a panic mid-update can at worst leave a stale or missing
 /// entry — never an inconsistent one worth propagating a panic for.
-fn lock_cache() -> std::sync::MutexGuard<'static, BTreeMap<(u64, bool), Arc<OutdegreeProfile>>> {
+fn lock_cache() -> std::sync::MutexGuard<'static, ProfileLru> {
     profile_cache()
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -196,18 +245,14 @@ fn graph_fingerprint(graph: &GroupedBigraph) -> u64 {
 pub fn cached_profile(graph: &GroupedBigraph, propagated: bool) -> Result<Arc<OutdegreeProfile>> {
     let key = (graph_fingerprint(graph), propagated);
     if let Some(hit) = lock_cache().get(&key) {
-        return Ok(Arc::clone(hit));
+        return Ok(hit);
     }
     let profile = Arc::new(if propagated {
         OutdegreeProfile::propagated(graph)?
     } else {
         OutdegreeProfile::plain(graph)
     });
-    let mut cache = lock_cache();
-    if cache.len() >= PROFILE_CACHE_CAP {
-        cache.clear();
-    }
-    cache.insert(key, Arc::clone(&profile));
+    lock_cache().insert(key, Arc::clone(&profile));
     Ok(profile)
 }
 
@@ -310,6 +355,48 @@ mod tests {
         // Cached values agree with direct construction.
         let direct = OutdegreeProfile::plain(&g);
         assert_eq!(p1.probabilities(), direct.probabilities());
+    }
+
+    #[test]
+    fn lru_keeps_hot_entry_and_hits_stay_bit_identical() {
+        let b = BeliefFunction::widened(&freqs(), 0.15).unwrap();
+        let g = b.build_graph(&BIGMART_SUPPORTS, 10);
+        let hot = cached_profile(&g, true).unwrap();
+
+        // Flood the memo with more distinct entries than the cap,
+        // re-touching the hot entry after every insert so it is never
+        // the least-recently-used — it must survive the whole sweep.
+        for i in 0..(PROFILE_CACHE_CAP as u64 + 16) {
+            let supports = [i + 1, i + 2];
+            let filler = BeliefFunction::from_intervals(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+            let fg = filler.build_graph(&supports, 1_000);
+            cached_profile(&fg, false).unwrap();
+            let again = cached_profile(&g, true).unwrap();
+            assert!(
+                Arc::ptr_eq(&hot, &again),
+                "hot entry evicted after filler {i}"
+            );
+        }
+
+        // The earliest filler entries were the coldest and must be
+        // gone: a re-lookup rebuilds (fresh Arc)...
+        let filler0 = BeliefFunction::from_intervals(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let fg0 = filler0.build_graph(&[1u64, 2], 1_000);
+        let key0 = (graph_fingerprint(&fg0), false);
+        let cached0 = lock_cache().get(&key0);
+        assert!(cached0.is_none(), "coldest filler should have been evicted");
+
+        // ...and a cache hit is bit-identical to cold-path
+        // construction, for both profile flavors.
+        let rebuilt = cached_profile(&fg0, false).unwrap();
+        assert_eq!(
+            rebuilt.probabilities(),
+            OutdegreeProfile::plain(&fg0).probabilities()
+        );
+        assert_eq!(
+            hot.probabilities(),
+            OutdegreeProfile::propagated(&g).unwrap().probabilities()
+        );
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! panic always surfaces as a structured
 //! [`crate::par::ExecError::WorkerPanic`], never a process abort.
 //!
+//! The service layer (`crates/serve`) adds three probe points of its
+//! own — `serve.accept` (indexed by connection sequence, fired
+//! before a connection is queued), `serve.request` (indexed by
+//! request sequence, fired before routing), and `cache.shard`
+//! (indexed by the cache key, fired on every shard lookup). Each
+//! sits under the server's own `catch_unwind` perimeter, so an
+//! injected panic becomes a structured `500` response and the
+//! connection (not the server) is what pays for it.
+//!
 //! # Activation
 //!
 //! Ambient activation reads [`FAULTS_ENV`] once per process (CI sets

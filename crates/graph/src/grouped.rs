@@ -16,6 +16,138 @@
 
 use crate::dense::DenseBigraph;
 
+/// The belief-independent half of a [`GroupedBigraph`]: the
+/// frequency-group precomputation over one database summary
+/// `(supports, m)` — distinct supports sorted and deduplicated,
+/// group sizes, prefix sums, and each item's group membership.
+///
+/// Building this is the `O(n log n)` part of graph construction and
+/// it does not depend on the hacker's belief at all, so a service
+/// answering many concurrent requests against the *same* database
+/// computes it once and completes each request's graph with the
+/// cheap per-interval [`FrequencyScaffold::into_graph`] pass. The
+/// completion is definitionally equivalent to
+/// [`GroupedBigraph::new`] — `new` itself is implemented as
+/// `FrequencyScaffold::new(..).into_graph(..)`.
+#[derive(Clone, Debug)]
+pub struct FrequencyScaffold {
+    group_supports: Vec<u64>,
+    group_sizes: Vec<usize>,
+    prefix: Vec<usize>,
+    left_group: Vec<usize>,
+    group_members: Vec<Vec<usize>>,
+    n_transactions: u64,
+}
+
+impl FrequencyScaffold {
+    /// Precomputes the frequency groups of a support profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_transactions == 0` or any support exceeds it
+    /// (the same structural contract as [`GroupedBigraph::new`]).
+    pub fn new(supports: &[u64], n_transactions: u64) -> Self {
+        assert!(n_transactions > 0, "need at least one transaction");
+        let n = supports.len();
+
+        // Distinct supports ascending + membership.
+        let mut distinct: Vec<u64> = supports.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let k = distinct.len();
+        let mut group_sizes = vec![0usize; k];
+        let mut left_group = vec![0usize; n];
+        let mut group_members = vec![Vec::new(); k];
+        for (i, &s) in supports.iter().enumerate() {
+            assert!(s <= n_transactions, "item {i} support {s} exceeds m");
+            // `distinct` was built from these same supports, so the
+            // partition point lands exactly on `s`.
+            let g = distinct.partition_point(|&d| d < s);
+            group_sizes[g] += 1;
+            left_group[i] = g;
+            group_members[g].push(i);
+        }
+        let mut prefix = vec![0usize; k + 1];
+        for g in 0..k {
+            prefix[g + 1] = prefix[g] + group_sizes[g];
+        }
+
+        FrequencyScaffold {
+            group_supports: distinct,
+            group_sizes,
+            prefix,
+            left_group,
+            group_members,
+            n_transactions,
+        }
+    }
+
+    /// Domain size the scaffold was built over.
+    pub fn n(&self) -> usize {
+        self.left_group.len()
+    }
+
+    /// Transaction count the supports are relative to.
+    pub fn n_transactions(&self) -> u64 {
+        self.n_transactions
+    }
+
+    /// Completes the graph for one belief: computes each item's
+    /// candidate group range from its interval. Borrowing variant of
+    /// [`FrequencyScaffold::into_graph`] for shared (cached)
+    /// scaffolds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals.len() != self.n()` or an interval is
+    /// inverted.
+    pub fn graph_for(&self, intervals: &[(f64, f64)]) -> GroupedBigraph {
+        self.clone().into_graph(intervals)
+    }
+
+    /// Consuming variant of [`FrequencyScaffold::graph_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals.len() != self.n()` or an interval is
+    /// inverted.
+    pub fn into_graph(self, intervals: &[(f64, f64)]) -> GroupedBigraph {
+        assert_eq!(
+            self.left_group.len(),
+            intervals.len(),
+            "supports and intervals must cover the same domain"
+        );
+        let m = self.n_transactions as f64;
+        let freqs: Vec<f64> = self.group_supports.iter().map(|&s| s as f64 / m).collect();
+        let right_range = intervals
+            .iter()
+            .enumerate()
+            .map(|(y, &(l, r))| {
+                assert!(l <= r, "item {y} has inverted interval [{l}, {r}]");
+                // First group with frequency >= l.
+                let lo = freqs.partition_point(|&f| f < l);
+                // First group with frequency > r.
+                let hi = freqs.partition_point(|&f| f <= r);
+                if lo < hi {
+                    Some((lo, hi - 1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        GroupedBigraph {
+            group_supports: self.group_supports,
+            group_sizes: self.group_sizes,
+            prefix: self.prefix,
+            left_group: self.left_group,
+            right_range,
+            n_transactions: self.n_transactions,
+            group_members: self.group_members,
+        }
+    }
+}
+
 /// A bipartite mapping-space graph in grouped interval form.
 ///
 /// Indexing is *aligned*: left (anonymized) index `i` corresponds to
@@ -69,64 +201,7 @@ impl GroupedBigraph {
     /// Panics if lengths disagree, `m == 0`, any support exceeds `m`,
     /// or an interval is inverted.
     pub fn new(supports: &[u64], n_transactions: u64, intervals: &[(f64, f64)]) -> Self {
-        assert_eq!(
-            supports.len(),
-            intervals.len(),
-            "supports and intervals must cover the same domain"
-        );
-        assert!(n_transactions > 0, "need at least one transaction");
-        let n = supports.len();
-        let m = n_transactions as f64;
-
-        // Distinct supports ascending + membership.
-        let mut distinct: Vec<u64> = supports.to_vec();
-        distinct.sort_unstable();
-        distinct.dedup();
-        let k = distinct.len();
-        let mut group_sizes = vec![0usize; k];
-        let mut left_group = vec![0usize; n];
-        let mut group_members = vec![Vec::new(); k];
-        for (i, &s) in supports.iter().enumerate() {
-            assert!(s <= n_transactions, "item {i} support {s} exceeds m");
-            // `distinct` was built from these same supports, so the
-            // partition point lands exactly on `s`.
-            let g = distinct.partition_point(|&d| d < s);
-            group_sizes[g] += 1;
-            left_group[i] = g;
-            group_members[g].push(i);
-        }
-        let mut prefix = vec![0usize; k + 1];
-        for g in 0..k {
-            prefix[g + 1] = prefix[g] + group_sizes[g];
-        }
-
-        let freqs: Vec<f64> = distinct.iter().map(|&s| s as f64 / m).collect();
-        let right_range = intervals
-            .iter()
-            .enumerate()
-            .map(|(y, &(l, r))| {
-                assert!(l <= r, "item {y} has inverted interval [{l}, {r}]");
-                // First group with frequency >= l.
-                let lo = freqs.partition_point(|&f| f < l);
-                // First group with frequency > r.
-                let hi = freqs.partition_point(|&f| f <= r);
-                if lo < hi {
-                    Some((lo, hi - 1))
-                } else {
-                    None
-                }
-            })
-            .collect();
-
-        GroupedBigraph {
-            group_supports: distinct,
-            group_sizes,
-            prefix,
-            left_group,
-            right_range,
-            n_transactions,
-            group_members,
-        }
+        FrequencyScaffold::new(supports, n_transactions).into_graph(intervals)
     }
 
     /// Domain size per side.
@@ -544,5 +619,54 @@ mod tests {
         let g = GroupedBigraph::new(&supports, 10, &intervals);
         // Outdegree of each item equals its group size.
         assert_eq!(g.outdegrees(), vec![4, 1, 4, 4, 1, 4]);
+    }
+
+    #[test]
+    fn scaffold_completion_is_equivalent_to_direct_construction() {
+        // Every structural observable must agree between the one-shot
+        // constructor and the scaffold-then-complete path, for a
+        // spread of belief shapes over the same database summary —
+        // this is the contract that lets a server share one
+        // frequency-group precomputation across concurrent requests.
+        let supports = bigmart_supports();
+        let scaffold = FrequencyScaffold::new(&supports, 10);
+        assert_eq!(scaffold.n(), 6);
+        assert_eq!(scaffold.n_transactions(), 10);
+        let beliefs: Vec<Vec<(f64, f64)>> = vec![
+            belief_h(),
+            vec![(0.0, 1.0); 6],
+            supports
+                .iter()
+                .map(|&s| {
+                    let f = s as f64 / 10.0;
+                    (f, f)
+                })
+                .collect(),
+            vec![(0.9, 1.0); 6], // no candidate group at all
+        ];
+        for intervals in &beliefs {
+            let direct = GroupedBigraph::new(&supports, 10, intervals);
+            let shared = scaffold.graph_for(intervals);
+            assert_eq!(shared.n(), direct.n());
+            assert_eq!(shared.n_groups(), direct.n_groups());
+            assert_eq!(shared.group_supports(), direct.group_supports());
+            assert_eq!(shared.group_sizes(), direct.group_sizes());
+            assert_eq!(shared.outdegrees(), direct.outdegrees());
+            for y in 0..direct.n() {
+                assert_eq!(shared.right_range_of(y), direct.right_range_of(y));
+                assert_eq!(shared.left_group_of(y), direct.left_group_of(y));
+            }
+            for x in 0..direct.n() {
+                for y in 0..direct.n() {
+                    assert_eq!(shared.has_edge(x, y), direct.has_edge(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the same domain")]
+    fn scaffold_rejects_mismatched_interval_count() {
+        FrequencyScaffold::new(&bigmart_supports(), 10).graph_for(&[(0.0, 1.0)]);
     }
 }

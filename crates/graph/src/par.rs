@@ -184,6 +184,22 @@ impl Budget {
         self.limit_ms
     }
 
+    /// Milliseconds left before the deadline, saturating at zero once
+    /// the deadline has passed (including under clock skew past it —
+    /// `Instant` arithmetic here never panics and never goes
+    /// negative). `None` when the budget has no deadline.
+    ///
+    /// This is the admission-control primitive: `andi-serve` turns a
+    /// queued request's remaining allowance into its shed decision
+    /// and `Retry-After` hint without ever reading a clock itself.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        let deadline = self.deadline?;
+        // `saturating_duration_since` returns zero when `now` is at
+        // or past the deadline, so expiry can never underflow.
+        let left = deadline.saturating_duration_since(Instant::now());
+        Some(left.as_millis().min(u128::from(u64::MAX)) as u64)
+    }
+
     /// Wall-clock time elapsed since this budget was created.
     pub fn spent(&self) -> Duration {
         Instant::now().duration_since(self.start)
@@ -437,6 +453,46 @@ where
     tagged.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Spawns a named, long-lived service thread.
+///
+/// Estimator fan-out must go through [`map_indexed`] /
+/// [`try_map_indexed`] — that is what makes results thread-count
+/// invariant. Long-running *service* threads (a server's accept
+/// loop, its request workers, a connection watcher) are a different
+/// animal: they never touch result values, they only move requests
+/// around, and they live until their subsystem shuts down. This is
+/// the one sanctioned way to create them, so the
+/// `thread-spawn-outside-par` invariant ("all threading goes through
+/// `andi_graph::par`") keeps holding for the service layer too.
+///
+/// The thread name shows up in panic messages and debuggers.
+///
+/// # Errors
+///
+/// Propagates the OS spawn failure (thread limit, out of memory)
+/// instead of panicking, so a service under resource pressure can
+/// shed load structurally.
+pub fn spawn_worker<T, F>(name: &str, f: F) -> std::io::Result<WorkerHandle<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    std::thread::Builder::new().name(name.to_string()).spawn(f)
+}
+
+/// Join handle for a [`spawn_worker`] service thread, re-exported so
+/// service crates can store handles without naming `std::thread`
+/// themselves.
+pub type WorkerHandle<T> = std::thread::JoinHandle<T>;
+
+/// Parks the calling thread for `ms` milliseconds. Service loops
+/// (the accept poll, the disconnect watcher) use this instead of
+/// `std::thread::sleep` directly so all timing primitives outside
+/// `crates/bench` live in this module.
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
 /// Splits the half-open range `[0, total)` into at most `max_chunks`
 /// contiguous chunks of near-equal size (first chunks one longer when
 /// `total` does not divide evenly). Chunk boundaries depend only on
@@ -509,6 +565,45 @@ mod tests {
                 assert!(ranges.len() <= chunks.max(1));
             }
         }
+    }
+
+    #[test]
+    fn remaining_ms_is_none_without_deadline() {
+        assert_eq!(Budget::unlimited().remaining_ms(), None);
+        let token = CancelToken::new();
+        assert_eq!(Budget::unlimited().with_token(token).remaining_ms(), None);
+    }
+
+    #[test]
+    fn remaining_ms_counts_down_and_saturates_at_expiry() {
+        let b = Budget::with_deadline(Duration::from_millis(50));
+        let first = b.remaining_ms().expect("deadline is set");
+        assert!(first <= 50, "cannot exceed the configured limit");
+        std::thread::sleep(Duration::from_millis(60));
+        // Past the deadline: saturates at zero, never panics or
+        // underflows, and stays pinned there on every later poll.
+        assert_eq!(b.remaining_ms(), Some(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(b.remaining_ms(), Some(0));
+        assert!(b.check().is_err(), "an expired budget trips its poll");
+    }
+
+    #[test]
+    fn remaining_ms_at_the_deadline_boundary_is_consistent_with_check() {
+        // A zero-length deadline is expired from the first poll on:
+        // remaining_ms reads zero and check() trips, never disagreeing.
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        assert_eq!(b.remaining_ms(), Some(0));
+        assert!(matches!(
+            b.check(),
+            Err(ExecError::BudgetExceeded { budget_ms: 0 })
+        ));
+    }
+
+    #[test]
+    fn spawn_worker_runs_named_and_joins() {
+        let h = spawn_worker("par-test-worker", || 41 + 1).expect("spawn");
+        assert_eq!(h.join().expect("worker must not panic"), 42);
     }
 
     #[test]

@@ -169,6 +169,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/mining/src/",
     "crates/data/src/",
     "crates/oracle/src/",
+    "crates/serve/src/",
 ];
 
 pub(crate) fn in_lib_crate(path: &str) -> bool {

@@ -1,0 +1,660 @@
+//! The andi-serve server: accept loop, admission, workers, watcher.
+//!
+//! Life of a request:
+//!
+//! 1. The accept loop (nonblocking + drain poll) takes the TCP
+//!    connection, runs the `serve.accept` fault probe under
+//!    `catch_unwind`, and offers the connection to the bounded
+//!    [`Admission`] queue — shedding a structured `429` +
+//!    `Retry-After` when full, a `503` when draining.
+//! 2. A worker picks the connection up and serves its keep-alive
+//!    request stream. Each request runs under `catch_unwind` with the
+//!    `serve.request` probe inside, so injected panics become
+//!    structured `500`s, never aborts.
+//! 3. `POST /assess` parses the oracle instance format, builds a
+//!    per-request [`Budget`] + [`CancelToken`] (wired to client
+//!    disconnect via the watcher thread and to the server-wide drain),
+//!    and answers with the full budgeted-ladder result — coalescing
+//!    identical requests and same-database scaffold work through the
+//!    two [`ShardedCache`]s.
+//! 4. [`ServerHandle::shutdown`] drains: stops accepting, cancels
+//!    every in-flight token, lets workers finish their current
+//!    request, and joins all service threads.
+//!
+//! Responses are deterministic: provenance in the body carries
+//! `spent_ms: 0` (the measured value rides in the `X-Andi-Spent-Ms`
+//! header) and only untripped results enter the cache, so a cache hit
+//! is bit-identical to the cold path and a seeded load run reproduces
+//! its exact response multiset.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use andi_core::recipe::{ladder_crack_probabilities, RecipeConfig};
+use andi_core::report::Provenance;
+use andi_core::Error;
+use andi_graph::par::{self, Budget, CancelToken, WorkerHandle};
+use andi_graph::{faults, FrequencyScaffold};
+use andi_oracle::instance::{json_string, Instance};
+use andi_oracle::serial::{error_to_json, provenance_to_json};
+
+use crate::admission::{Admission, Offer};
+use crate::cache::{fnv1a_u64, Outcome, ShardedCache, FNV_OFFSET};
+use crate::http::{read_request, Request, Response, WireError, WireLimits};
+use crate::stats::ServerStats;
+
+/// Server configuration; [`Default`] gives test-friendly values.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Request worker threads.
+    pub workers: usize,
+    /// Admission queue capacity (waiting connections beyond the
+    /// workers); `0` sheds everything — useful for tests.
+    pub queue_cap: usize,
+    /// Per-request wall-clock budget in ms; `0` means no deadline.
+    pub request_budget_ms: u64,
+    /// Result/scaffold cache capacity per shard.
+    pub cache_cap_per_shard: usize,
+    /// Wire-layer byte and stall caps.
+    pub limits: WireLimits,
+    /// Emit one access-log line per request on stdout. Lines carry
+    /// method, path, status, sizes, and timing only — never belief
+    /// intervals, supports, or transactions.
+    pub access_log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            request_budget_ms: 2_000,
+            cache_cap_per_shard: 64,
+            limits: WireLimits::default(),
+            access_log: false,
+        }
+    }
+}
+
+/// A registered in-flight request: the watcher peeks the stream and
+/// fires the token when the client goes away.
+struct WatchEntry {
+    stream: TcpStream,
+    token: CancelToken,
+    done: Arc<AtomicBool>,
+}
+
+/// Registry of in-flight requests for the disconnect watcher.
+#[derive(Default)]
+struct Watchlist {
+    entries: Mutex<Vec<WatchEntry>>,
+}
+
+/// Deregisters a request on drop (normal return or unwind).
+struct WatchGuard {
+    done: Arc<AtomicBool>,
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Watchlist {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<WatchEntry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a request's stream + token; `None` (no disconnect
+    /// detection, request still served) when the clone fails.
+    fn register(&self, stream: &TcpStream, token: CancelToken) -> Option<WatchGuard> {
+        let clone = stream.try_clone().ok()?;
+        // A short receive timeout bounds each watcher peek; the
+        // worker re-asserts its own timeout before its next read.
+        if clone
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .is_err()
+        {
+            return None;
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        self.lock().push(WatchEntry {
+            stream: clone,
+            token,
+            done: Arc::clone(&done),
+        });
+        Some(WatchGuard { done })
+    }
+
+    /// One watcher pass: drop finished entries, cancel dead peers.
+    fn sweep(&self) {
+        let mut entries = self.lock();
+        entries.retain(|e| !e.done.load(Ordering::SeqCst));
+        for entry in entries.iter() {
+            let mut probe_buf = [0u8; 1];
+            match entry.stream.peek(&mut probe_buf) {
+                // EOF: the client hung up — cancel the computation.
+                Ok(0) => entry.token.cancel(),
+                // Buffered bytes (e.g. a pipelined next request):
+                // the client is alive.
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                // Reset or other transport death.
+                Err(_) => entry.token.cancel(),
+            }
+        }
+    }
+
+    /// Fires every in-flight token (drain).
+    fn cancel_all(&self) {
+        for entry in self.lock().iter() {
+            entry.token.cancel();
+        }
+    }
+}
+
+/// State shared by every service thread.
+struct Shared {
+    cfg: ServeConfig,
+    admission: Admission,
+    stats: ServerStats,
+    results: ShardedCache<Arc<str>>,
+    scaffolds: ShardedCache<Arc<FrequencyScaffold>>,
+    watch: Watchlist,
+    draining: AtomicBool,
+    request_seq: AtomicU64,
+    recipe: RecipeConfig,
+    threads: usize,
+}
+
+/// A running server: its bound address and the means to drain it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<WorkerHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (with the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server stats as JSON (same shape as `GET /stats`).
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
+    }
+
+    /// Graceful drain: stop accepting, cancel in-flight tokens, let
+    /// workers finish their current request, join every service
+    /// thread. Returns when the server is fully stopped.
+    pub fn shutdown(self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.admission.drain();
+        self.shared.watch.cancel_all();
+        for handle in self.threads {
+            // A panicked service thread already surfaced through its
+            // catch_unwind; joining the corpse is best-effort.
+            if handle.join().is_err() {
+                self.shared
+                    .stats
+                    .server_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Binds and starts the service threads.
+///
+/// # Errors
+///
+/// Bind or thread-spawn failures.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        admission: Admission::new(cfg.queue_cap),
+        stats: ServerStats::default(),
+        results: ShardedCache::new(cfg.cache_cap_per_shard),
+        scaffolds: ShardedCache::new(cfg.cache_cap_per_shard),
+        watch: Watchlist::default(),
+        draining: AtomicBool::new(false),
+        request_seq: AtomicU64::new(0),
+        recipe: RecipeConfig::default(),
+        threads: par::available_threads(),
+        cfg,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 2);
+    let accept_shared = Arc::clone(&shared);
+    threads.push(par::spawn_worker("serve-accept", move || {
+        accept_loop(&accept_shared, &listener)
+    })?);
+    for i in 0..workers {
+        let worker_shared = Arc::clone(&shared);
+        threads.push(par::spawn_worker(
+            &format!("serve-worker-{i}"),
+            move || worker_loop(&worker_shared),
+        )?);
+    }
+    let watch_shared = Arc::clone(&shared);
+    threads.push(par::spawn_worker("serve-watch", move || {
+        watcher_loop(&watch_shared)
+    })?);
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+/// Nonblocking accept + drain poll.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        // Without nonblocking accept the drain poll cannot work;
+        // refuse to serve rather than hang shutdown forever.
+        return;
+    }
+    let mut accept_index: usize = 0;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                accept_index += 1;
+                let probed = catch_unwind(AssertUnwindSafe(|| {
+                    faults::probe("serve.accept", accept_index);
+                }));
+                if let Err(payload) = probed {
+                    // Injected accept-path fault: answer structurally
+                    // instead of dropping the connection.
+                    respond_and_close(
+                        &stream,
+                        Response::json(
+                            500,
+                            error_to_json(&Error::WorkerPanic {
+                                task: accept_index,
+                                payload: panic_text(payload.as_ref()),
+                            }),
+                        ),
+                    );
+                    continue;
+                }
+                match shared.admission.offer(stream) {
+                    Offer::Accepted => {}
+                    Offer::Full(stream) => shed(shared, &stream),
+                    Offer::Draining(stream) => {
+                        respond_and_close(&stream, Response::json(503, "{\"kind\":\"draining\"}"))
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => par::sleep_ms(1),
+            Err(_) => par::sleep_ms(5),
+        }
+    }
+}
+
+/// Sheds a connection with `429` + `Retry-After`.
+fn shed(shared: &Shared, stream: &TcpStream) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    let retry = shared
+        .stats
+        .retry_after_secs(shared.admission.backlog(), shared.cfg.workers.max(1));
+    let body = format!("{{\"kind\":\"overloaded\",\"retry_after_s\":{retry}}}");
+    respond_and_close(
+        stream,
+        Response::json(429, body).with_header("retry-after", retry.to_string()),
+    );
+}
+
+/// Best-effort bounded write of a response, then close.
+fn respond_and_close(stream: &TcpStream, resp: Response) {
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(1_000)))
+        .is_err()
+    {
+        return;
+    }
+    let mut w = stream;
+    if resp.write_to(&mut w, true).is_err() {
+        // The peer is gone; nothing structural left to say.
+    }
+}
+
+/// Worker: serve queued connections until drain.
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.admission.take() {
+        handle_connection(shared, stream);
+    }
+}
+
+/// Watcher: poll in-flight request streams for disconnect.
+fn watcher_loop(shared: &Shared) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.watch.sweep();
+        par::sleep_ms(5);
+    }
+}
+
+/// Serves one connection's keep-alive request stream.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(10_000)))
+        .is_err()
+    {
+        return;
+    }
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // Re-asserted every iteration: the watcher may have shrunk
+        // the shared receive timeout while a compute was in flight.
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            return;
+        }
+        match read_request(&mut reader, &shared.cfg.limits) {
+            Err(WireError::Idle) => continue,
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                let status = e.status();
+                if status != 0 {
+                    let resp = Response::json(status, e.to_json());
+                    shared.stats.count_response(status);
+                    respond_and_close(&stream, resp);
+                }
+                return;
+            }
+            Ok(req) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
+                let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
+                let resp = dispatch(shared, &req, seq, &stream);
+                shared.stats.count_response(resp.status);
+                if shared.cfg.access_log {
+                    // Method/path/status/sizes/latency only: never
+                    // echo request bodies (supports, intervals) here.
+                    println!(
+                        "access: {} {} {} req={}b resp={}b",
+                        req.method,
+                        req.target,
+                        resp.status,
+                        req.body.len(),
+                        resp.body.len()
+                    );
+                }
+                let mut w = &stream;
+                if resp.write_to(&mut w, close).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Fault-isolated request dispatch: panics inside become `500`s.
+fn dispatch(shared: &Shared, req: &Request, seq: u64, stream: &TcpStream) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(shared, req, seq, stream)));
+    match outcome {
+        Ok(resp) => resp,
+        Err(payload) => Response::json(
+            500,
+            error_to_json(&Error::WorkerPanic {
+                task: seq as usize,
+                payload: panic_text(payload.as_ref()),
+            }),
+        ),
+    }
+}
+
+/// Routes a request to its endpoint.
+fn route(shared: &Shared, req: &Request, seq: u64, stream: &TcpStream) -> Response {
+    faults::probe("serve.request", seq as usize);
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/health") => Response::json(200, "{\"ok\":true}"),
+        ("GET", "/stats") => Response::json(200, stats_json(shared)),
+        ("POST", "/assess") => assess(shared, req, stream),
+        (_, "/health" | "/stats" | "/assess") => Response::json(
+            405,
+            format!(
+                "{{\"kind\":\"method-not-allowed\",\"method\":{}}}",
+                json_string(&req.method)
+            ),
+        ),
+        _ => Response::json(404, "{\"kind\":\"not-found\"}"),
+    }
+}
+
+/// `POST /assess`: oracle instance text in, budgeted ladder result
+/// out.
+fn assess(shared: &Shared, req: &Request, stream: &TcpStream) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            return Response::json(
+                400,
+                "{\"kind\":\"malformed\",\"message\":\"body is not utf-8\"}",
+            )
+        }
+    };
+    let instance = match Instance::from_text(text) {
+        Ok(i) => i,
+        Err(e) => return invalid_instance(&e),
+    };
+    if let Err(e) = instance.validate() {
+        return invalid_instance(&e);
+    }
+
+    let token = CancelToken::new();
+    let budget = if shared.cfg.request_budget_ms == 0 {
+        Budget::unlimited().with_token(token.clone())
+    } else {
+        Budget::with_deadline(Duration::from_millis(shared.cfg.request_budget_ms))
+            .with_token(token.clone())
+    };
+    // Keep the guard alive for the whole compute: dropping it marks
+    // the entry done for the watcher.
+    let _watch = shared.watch.register(stream, token.clone());
+
+    let db_key = database_fingerprint(&instance);
+    let result_key = result_fingerprint(db_key, &instance);
+    let computed = shared.results.get_or_compute(result_key, || {
+        compute_assess(shared, &instance, db_key, &budget)
+    });
+    let spent_ms = budget.spent().as_millis();
+    self_observe(shared, &budget);
+    match computed {
+        Ok((body, outcome)) => Response::json(200, body.as_ref())
+            .with_header("x-andi-cache", outcome_name(outcome))
+            .with_header("x-andi-spent-ms", spent_ms.to_string()),
+        // An uncacheable (tripped/degraded) result is still a full
+        // answer; it just bypassed the cache.
+        Err(AssessFailure::Uncached(body)) => Response::json(200, body)
+            .with_header("x-andi-cache", "uncached")
+            .with_header("x-andi-spent-ms", spent_ms.to_string()),
+        Err(AssessFailure::Core(e)) => {
+            core_error_response(&e).with_header("x-andi-spent-ms", spent_ms.to_string())
+        }
+    }
+}
+
+/// Why a flight produced no cacheable value.
+enum AssessFailure {
+    /// The ladder answered, but with trips or degradation — correct,
+    /// yet dependent on timing/faults, so never cached.
+    Uncached(String),
+    /// The ladder aborted with a structured core error.
+    Core(Error),
+}
+
+/// The cold path: scaffold (coalesced per database) + per-belief
+/// graph completion + the budgeted degradation ladder.
+fn compute_assess(
+    shared: &Shared,
+    instance: &Instance,
+    db_key: u64,
+    budget: &Budget,
+) -> Result<Arc<str>, AssessFailure> {
+    if let Err(e) = budget.check() {
+        return Err(AssessFailure::Core(e.into()));
+    }
+    let scaffold = shared
+        .scaffolds
+        .get_or_compute(db_key, || {
+            Ok::<_, AssessFailure>(Arc::new(FrequencyScaffold::new(
+                &instance.supports,
+                instance.m,
+            )))
+        })
+        .map(|(s, _)| s)?;
+    let graph = scaffold.graph_for(&instance.intervals);
+    let (provenance, probs) =
+        ladder_crack_probabilities(&graph, &shared.recipe, shared.threads, budget)
+            .map_err(AssessFailure::Core)?;
+    let body = render_assess(&provenance, &probs);
+    if provenance.trips.is_empty() && !provenance.degraded {
+        Ok(Arc::from(body))
+    } else {
+        Err(AssessFailure::Uncached(body))
+    }
+}
+
+/// Renders the deterministic response body: `spent_ms` is zeroed (the
+/// measured value rides in a header) so identical requests always
+/// produce identical bytes.
+fn render_assess(provenance: &Provenance, probs: &[f64]) -> String {
+    let mut normalized = provenance.clone();
+    normalized.spent_ms = 0;
+    let expected: f64 = probs.iter().sum();
+    let probs_json: Vec<String> = probs.iter().map(|p| p.to_string()).collect();
+    format!(
+        "{{\"n\":{},\"expected_cracks\":{},\"provenance\":{},\"probs\":[{}]}}",
+        probs.len(),
+        expected,
+        provenance_to_json(&normalized),
+        probs_json.join(",")
+    )
+}
+
+/// 400 for an unparseable or invalid instance. The message comes from
+/// the oracle's own validation and parse errors.
+fn invalid_instance(e: &andi_oracle::OracleError) -> Response {
+    Response::json(
+        400,
+        format!(
+            "{{\"kind\":\"invalid-instance\",\"message\":{}}}",
+            json_string(&e.to_string())
+        ),
+    )
+}
+
+/// Maps a core error to its HTTP status + serialized body.
+fn core_error_response(e: &Error) -> Response {
+    let status = match e {
+        Error::EmptyMappingSpace => 422,
+        Error::Cancelled => 503,
+        Error::BudgetExceeded { .. } => 504,
+        Error::WorkerPanic { .. } | Error::Overflow(_) => 500,
+        _ => 400,
+    };
+    Response::json(status, error_to_json(e))
+}
+
+/// Feeds the latency EWMA from the request's own budget clock.
+fn self_observe(shared: &Shared, budget: &Budget) {
+    let spent = budget.spent();
+    let us = spent.as_micros().min(u128::from(u64::MAX)) as u64;
+    shared.stats.observe_latency_us(us);
+}
+
+fn outcome_name(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Hit => "hit",
+        Outcome::Joined => "join",
+        Outcome::Computed => "miss",
+    }
+}
+
+/// Belief-independent fingerprint of the database summary.
+fn database_fingerprint(instance: &Instance) -> u64 {
+    let mut h = fnv1a_u64(FNV_OFFSET, instance.m);
+    h = fnv1a_u64(h, instance.supports.len() as u64);
+    for &s in &instance.supports {
+        h = fnv1a_u64(h, s);
+    }
+    h
+}
+
+/// Full result fingerprint: database + belief intervals. The label,
+/// regime, and mask do not enter the assessment, so requests that
+/// differ only there coalesce.
+fn result_fingerprint(db_key: u64, instance: &Instance) -> u64 {
+    let mut h = fnv1a_u64(db_key, 0x5eed);
+    for &(l, r) in &instance.intervals {
+        h = fnv1a_u64(h, l.to_bits());
+        h = fnv1a_u64(h, r.to_bits());
+    }
+    h
+}
+
+/// The `/stats` document.
+fn stats_json(shared: &Shared) -> String {
+    let s = &shared.stats;
+    format!(
+        "{{\"accepted\":{},\"shed\":{},\"requests\":{},\
+         \"responses\":{{\"ok\":{},\"client_error\":{},\"server_error\":{}}},\
+         \"latency_ewma_us\":{},\"backlog\":{},\"draining\":{},\
+         \"result_cache\":{},\"scaffold_cache\":{}}}",
+        s.accepted.load(Ordering::Relaxed),
+        s.shed.load(Ordering::Relaxed),
+        s.requests.load(Ordering::Relaxed),
+        s.ok.load(Ordering::Relaxed),
+        s.client_errors.load(Ordering::Relaxed),
+        s.server_errors.load(Ordering::Relaxed),
+        s.latency_ewma_us(),
+        shared.admission.backlog(),
+        shared.draining.load(Ordering::SeqCst),
+        shared.results.stats().to_json(),
+        shared.scaffolds.stats().to_json(),
+    )
+}
+
+/// Extracts a printable payload from a caught panic.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

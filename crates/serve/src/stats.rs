@@ -1,0 +1,72 @@
+//! Server-wide counters and the `Retry-After` estimator.
+//!
+//! All timing flows from each request's [`andi_graph::par::Budget`]
+//! (`Budget::spent()` at completion) — the service itself never reads
+//! a wall clock, keeping the `wallclock-in-core` invariant intact.
+//! The latency EWMA feeds the shed path: `Retry-After` is the
+//! observed per-request latency scaled by the backlog a new request
+//! would sit behind.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic request counters plus the latency EWMA, rendered into
+/// the `/stats` JSON alongside the cache counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections shed with a 429.
+    pub shed: AtomicU64,
+    /// Requests parsed off the wire.
+    pub requests: AtomicU64,
+    /// 2xx responses.
+    pub ok: AtomicU64,
+    /// 4xx responses.
+    pub client_errors: AtomicU64,
+    /// 5xx responses.
+    pub server_errors: AtomicU64,
+    /// EWMA of per-request latency, in microseconds (α = 1/8).
+    latency_ewma_us: AtomicU64,
+}
+
+impl ServerStats {
+    /// Records a finished request's budget-measured latency.
+    pub fn observe_latency_us(&self, sample_us: u64) {
+        // Single-writer precision does not matter here; a racy
+        // read-modify-write only slightly misweights one sample.
+        let old = self.latency_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample_us
+        } else {
+            old - old / 8 + sample_us / 8
+        };
+        self.latency_ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// The latency EWMA in microseconds.
+    pub fn latency_ewma_us(&self) -> u64 {
+        self.latency_ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Counts a response by status class.
+    pub fn count_response(&self, status: u16) {
+        if (200..300).contains(&status) {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else if (400..500).contains(&status) {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Seconds a shed client should wait before retrying: the
+    /// latency EWMA times the queue position it would occupy, spread
+    /// over the worker pool, rounded up and clamped to `[1, 60]`.
+    pub fn retry_after_secs(&self, backlog: usize, workers: usize) -> u64 {
+        let per_request_us = self.latency_ewma_us().max(1);
+        let pending = (backlog as u64).saturating_add(1);
+        let workers = workers.max(1) as u64;
+        let wait_us = per_request_us.saturating_mul(pending) / workers;
+        (wait_us / 1_000_000 + 1).clamp(1, 60)
+    }
+}

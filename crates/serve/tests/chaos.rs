@@ -1,0 +1,192 @@
+//! Chaos suite: with deterministic fault injection active at the
+//! service probes (`serve.accept`, `serve.request`, `cache.shard`)
+//! *and* every ladder-internal probe, the server must never hang and
+//! never abort: every request gets a structured response (a result, a
+//! degraded result with full `Provenance`, or a structured error),
+//! cached results stay coherent, and drain completes under an
+//! explicit watchdog.
+//!
+//! When `ANDI_FAULTS` is ambient (the CI chaos job) the ambient
+//! schedule is exercised; otherwise two built-in schedules run so
+//! a plain `cargo test` still covers both panic and delay actions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use andi_graph::faults::{self, FaultSchedule};
+use andi_oracle::instance::{Instance, Regime};
+use andi_serve::{start, Client, ServeConfig, ServerHandle};
+
+/// The schedules a test runs under: the ambient one when the harness
+/// (CI) provides it, both built-ins otherwise.
+fn schedules() -> Vec<FaultSchedule> {
+    match faults::ambient() {
+        Some(ambient) => vec![*ambient],
+        None => vec![
+            FaultSchedule::parse("7:0.05:mix").expect("built-in schedule parses"),
+            FaultSchedule::parse("13:0.1:panic").expect("built-in schedule parses"),
+        ],
+    }
+}
+
+/// Joins a drain on a watchdog: a hung shutdown fails the test
+/// instead of wedging the suite.
+fn shutdown_within(handle: ServerHandle, secs: u64) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("drain did not complete within the watchdog");
+}
+
+fn small_instance(variant: u64) -> Instance {
+    Instance {
+        label: format!("chaos variant={variant}"),
+        regime: Regime::PointCompliant,
+        supports: vec![5, 4 + variant % 3, 5, 2],
+        m: 10,
+        intervals: vec![(0.4, 0.6), (0.3, 0.6), (0.5, 0.5), (0.1, 0.4)],
+        mask: None,
+    }
+}
+
+/// Every request in a mixed workload — duplicates, varied instances,
+/// malformed bodies, health probes — gets a structured response while
+/// faults fire, and the drain afterwards is clean. Fresh connection
+/// per request maximizes `serve.accept` probe coverage.
+#[test]
+fn every_request_gets_a_structured_response_under_faults() {
+    for schedule in schedules() {
+        let _guard = schedule.install();
+        let handle = start(ServeConfig {
+            workers: 2,
+            request_budget_ms: 1000,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+
+        let duplicate = small_instance(0).to_text();
+        for i in 0..160u64 {
+            let (method, path, body): (&str, &str, Vec<u8>) = match i % 4 {
+                0 => ("POST", "/assess", duplicate.clone().into_bytes()),
+                1 => ("POST", "/assess", small_instance(i).to_text().into_bytes()),
+                2 => ("POST", "/assess", b"not an instance".to_vec()),
+                _ => ("GET", "/health", Vec::new()),
+            };
+            let mut client = Client::connect(&addr).expect("connect");
+            let resp = client
+                .request(method, path, &body)
+                .unwrap_or_else(|e| panic!("request {i} got no structured response: {e:?}"));
+            assert!(
+                resp.status == 200 || (400..=599).contains(&resp.status),
+                "request {i}: unstructured status {}",
+                resp.status
+            );
+            assert!(
+                resp.body.first() == Some(&b'{'),
+                "request {i}: body is not structured JSON: {:?}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+
+        shutdown_within(handle, 60);
+    }
+}
+
+/// Cache coherence under chaos: among many responses for one
+/// instance, every *clean* answer (untripped, undegraded — the only
+/// ones the cache may serve) is bit-identical.
+#[test]
+fn faults_never_corrupt_cached_results() {
+    for schedule in schedules() {
+        let _guard = schedule.install();
+        let handle = start(ServeConfig {
+            workers: 2,
+            request_budget_ms: 1000,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+        let body = small_instance(1).to_text();
+
+        let mut clean_bodies: Vec<Vec<u8>> = Vec::new();
+        for i in 0..120u64 {
+            let mut client = Client::connect(&addr).expect("connect");
+            let resp = client
+                .request("POST", "/assess", body.as_bytes())
+                .unwrap_or_else(|e| panic!("request {i} aborted: {e:?}"));
+            if resp.status != 200 {
+                continue; // injected failure: structured error, fine
+            }
+            let text = std::str::from_utf8(&resp.body).expect("utf-8 body");
+            if text.contains("\"trips\":[]") && text.contains("\"degraded\":false") {
+                clean_bodies.push(resp.body.clone());
+            }
+        }
+        assert!(
+            clean_bodies.len() >= 2,
+            "expected repeated clean answers even under faults"
+        );
+        for body in &clean_bodies[1..] {
+            assert_eq!(
+                body, &clean_bodies[0],
+                "clean answers for one instance must be bit-identical"
+            );
+        }
+
+        shutdown_within(handle, 60);
+    }
+}
+
+/// Drain while requests are in flight: shutdown must complete within
+/// the watchdog, in-flight clients must see structured responses or
+/// clean closes, and nothing may wedge.
+#[test]
+fn drain_completes_while_requests_are_in_flight() {
+    for schedule in schedules() {
+        let _guard = schedule.install();
+        let handle = start(ServeConfig {
+            workers: 2,
+            request_budget_ms: 500,
+            ..ServeConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let mut drivers = Vec::new();
+        for d in 0..2u64 {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            drivers.push(std::thread::spawn(move || {
+                let body = small_instance(d).to_text();
+                while !stop.load(Ordering::SeqCst) {
+                    // Post-drain connects and requests may fail; a
+                    // hang may not (every recv is watchdog-bounded).
+                    let Ok(mut client) = Client::connect(&addr) else {
+                        break;
+                    };
+                    if client.request("POST", "/assess", body.as_bytes()).is_ok() {
+                        served.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+
+        // Let real traffic build up, then drain underneath it.
+        while served.load(Ordering::SeqCst) < 5 {
+            std::thread::yield_now();
+        }
+        shutdown_within(handle, 60);
+        stop.store(true, Ordering::SeqCst);
+        for driver in drivers {
+            driver.join().expect("driver thread panicked");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Differential acceptance: over generated oracle instances from all
+//! six regimes, a cache-hit response must be bit-identical to the
+//! cold-path response that populated it, and error responses must be
+//! deterministic. Runs with an unlimited request budget and fault
+//! injection masked, so every successful answer is clean (untripped,
+//! undegraded) and therefore cacheable.
+
+use andi_graph::faults::{FaultMode, FaultSchedule};
+use andi_oracle::generate::generate;
+use andi_oracle::instance::{Instance, Regime};
+use andi_serve::http::response_header;
+use andi_serve::{start, Client, ServeConfig};
+
+/// Adversarial instances draw `n` up to the exact-permanent cap (32),
+/// which a debug-build differential cannot afford; scan indices for
+/// representatives the exact rung answers quickly. Every other regime
+/// is already small and is taken as generated.
+fn regime_instances(regime: Regime, per_regime: usize) -> Vec<Instance> {
+    let mut picked = Vec::with_capacity(per_regime);
+    let mut index = 0u64;
+    while picked.len() < per_regime && index < 10_000 {
+        let instance = generate(0xd1ff ^ regime as u64, index, regime);
+        if regime != Regime::Adversarial || instance.supports.len() <= 12 {
+            picked.push(instance);
+        }
+        index += 1;
+    }
+    assert_eq!(picked.len(), per_regime, "generator ran dry for {regime:?}");
+    picked
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_cold_responses_across_all_regimes() {
+    let _quiet = FaultSchedule {
+        seed: 0,
+        rate_ppm: 0,
+        mode: FaultMode::Panic,
+    }
+    .install();
+    let handle = start(ServeConfig {
+        request_budget_ms: 0, // unlimited: nothing trips, all clean
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut hits = 0u32;
+    let mut errors = 0u32;
+    for regime in Regime::ALL {
+        for instance in regime_instances(regime, 3) {
+            let body = instance.to_text();
+            let cold = client
+                .request("POST", "/assess", body.as_bytes())
+                .expect("cold request answered");
+            let again = client
+                .request("POST", "/assess", body.as_bytes())
+                .expect("repeat request answered");
+            assert_eq!(
+                cold.status, again.status,
+                "{regime:?}/{}: repeat status changed",
+                instance.label
+            );
+            if cold.status == 200 {
+                // Unlimited budget and no faults: the answer is
+                // clean, so the repeat must be served by the cache
+                // and must be byte-for-byte the cold response.
+                assert_eq!(
+                    response_header(&again, "x-andi-cache"),
+                    Some("hit"),
+                    "{regime:?}/{}: clean repeat not served from cache",
+                    instance.label
+                );
+                assert_eq!(
+                    cold.body, again.body,
+                    "{regime:?}/{}: cache hit differs from cold path",
+                    instance.label
+                );
+                hits += 1;
+            } else {
+                // Structured, deterministic errors (e.g. 422 for an
+                // empty mapping space) repeat identically.
+                assert!(
+                    (400..=599).contains(&cold.status),
+                    "{regime:?}/{}: unexpected status {}",
+                    instance.label,
+                    cold.status
+                );
+                assert_eq!(
+                    cold.body, again.body,
+                    "{regime:?}/{}: error response not deterministic",
+                    instance.label
+                );
+                errors += 1;
+            }
+        }
+    }
+    assert!(
+        hits >= 12,
+        "expected most regimes to produce cacheable answers (hits={hits}, errors={errors})"
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,145 @@
+//! Seeded load acceptance: ≥10⁵ requests with zero transport aborts,
+//! a response multiset that reproduces exactly across same-seed runs
+//! with radically different interleavings (4 workers × 4 pipelined
+//! connections vs 1 × 1), and coalescing observable in the stats
+//! JSON. A separate chaos-mode run proves the load client and server
+//! together survive fault injection without a single unanswered
+//! request.
+//!
+//! `ANDI_LOAD_COUNT` overrides the request count (default 100 000).
+
+use andi_graph::faults::{self, FaultMode, FaultSchedule};
+use andi_serve::{run_load, start, LoadConfig, ServeConfig};
+
+fn load_count() -> u64 {
+    std::env::var("ANDI_LOAD_COUNT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+/// A rate-zero schedule: installing it masks any ambient
+/// `ANDI_FAULTS` so the determinism contract is measured on the
+/// faultless path (the chaos-mode run below is the faulty one), and
+/// its global install lock serializes the load tests.
+fn faultless() -> FaultSchedule {
+    FaultSchedule {
+        seed: 0,
+        rate_ppm: 0,
+        mode: FaultMode::Panic,
+    }
+}
+
+/// Pulls `"hits":N` out of the first cache object in the stats JSON.
+fn result_cache_hits(stats: &str) -> u64 {
+    let cache = stats
+        .split("\"result_cache\":")
+        .nth(1)
+        .expect("stats JSON has a result_cache object");
+    let after = cache
+        .split("\"hits\":")
+        .nth(1)
+        .expect("result_cache has a hits counter");
+    after
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("hits counter is a number")
+}
+
+#[test]
+fn seeded_load_reproduces_the_response_multiset_exactly() {
+    let _quiet = faultless().install();
+    let count = load_count();
+
+    // Run A: full concurrency — 4 workers, 4 pipelined connections.
+    let handle = start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let report_a = run_load(&LoadConfig {
+        addr: handle.addr().to_string(),
+        count,
+        ..LoadConfig::default()
+    })
+    .expect("load run completes");
+    assert_eq!(report_a.aborted, 0, "no aborts allowed: {report_a:?}");
+    assert_eq!(report_a.failed, 0, "no failures allowed: {report_a:?}");
+    assert_eq!(report_a.ok, count);
+    assert_eq!(report_a.reconnects, 0, "faultless run never reconnects");
+
+    // Coalescing is observable in the stats JSON: heavy duplication
+    // over a 32-instance pool means nearly every request is a cache
+    // hit, and the single-flight join counter is published.
+    let stats = handle.stats_json();
+    assert!(
+        result_cache_hits(&stats) > 0,
+        "expected result-cache hits under duplication: {stats}"
+    );
+    assert!(
+        stats.contains("\"joins\":"),
+        "stats must publish the coalescing counter: {stats}"
+    );
+    handle.shutdown();
+
+    // Run B: same seed, no concurrency anywhere — 1 worker, 1
+    // connection. The response-body multiset must be identical.
+    let handle = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let report_b = run_load(&LoadConfig {
+        addr: handle.addr().to_string(),
+        count,
+        connections: 1,
+        ..LoadConfig::default()
+    })
+    .expect("load run completes");
+    handle.shutdown();
+    assert_eq!(report_b.aborted, 0, "no aborts allowed: {report_b:?}");
+    assert_eq!(report_b.failed, 0, "no failures allowed: {report_b:?}");
+    assert_eq!(
+        report_a.multiset_hash, report_b.multiset_hash,
+        "same seed must reproduce the exact response multiset"
+    );
+}
+
+/// Chaos-mode load: with faults firing at every probe the load
+/// client may see injected 500s (structured failures) and closed
+/// connections (it reconnects and resends), but not one request may
+/// go unanswered.
+#[test]
+fn load_survives_fault_injection_without_aborts() {
+    let schedule = faults::ambient()
+        .copied()
+        .unwrap_or_else(|| FaultSchedule::parse("11:0.02:mix").expect("built-in schedule parses"));
+    let _guard = schedule.install();
+
+    let handle = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let count = 2_000;
+    let report = run_load(&LoadConfig {
+        addr: handle.addr().to_string(),
+        count,
+        connections: 2,
+        ..LoadConfig::default()
+    })
+    .expect("load run completes");
+    handle.shutdown();
+
+    assert_eq!(
+        report.aborted, 0,
+        "every request must be answered even under faults: {report:?}"
+    );
+    assert_eq!(
+        report.ok + report.failed,
+        count,
+        "answered responses must account for every request: {report:?}"
+    );
+}
