@@ -201,7 +201,7 @@ fn lock_cache() -> std::sync::MutexGuard<'static, ProfileLru> {
 /// share a fingerprint iff they were built from the same (supports,
 /// n_transactions, belief intervals) modulo hash collisions — the
 /// belief only enters `GroupedBigraph` through exactly these fields.
-fn graph_fingerprint(graph: &GroupedBigraph) -> u64 {
+pub fn graph_fingerprint(graph: &GroupedBigraph) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf29ce484222325;
     const FNV_PRIME: u64 = 0x100000001b3;
     let mut h = FNV_OFFSET;
@@ -254,6 +254,24 @@ pub fn cached_profile(graph: &GroupedBigraph, propagated: bool) -> Result<Arc<Ou
     });
     lock_cache().insert(key, Arc::clone(&profile));
     Ok(profile)
+}
+
+/// Explicitly drops every memoized profile for a graph fingerprint
+/// (both the plain and the propagated variant) and returns how many
+/// entries were removed. This is the delta-update invalidation path:
+/// after a database edit, callers that re-key on the *old* graph —
+/// or hold a stale fingerprint — must be unable to observe the
+/// pre-edit profile, and the regression test below pins that a stale
+/// entry can never be served after invalidation.
+pub fn invalidate_profile(fingerprint: u64) -> usize {
+    let mut cache = lock_cache();
+    let mut removed = 0usize;
+    for flag in [false, true] {
+        if cache.entries.remove(&(fingerprint, flag)).is_some() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 #[cfg(test)]
@@ -396,6 +414,41 @@ mod tests {
         assert_eq!(
             hot.probabilities(),
             OutdegreeProfile::propagated(&g).unwrap().probabilities()
+        );
+    }
+
+    #[test]
+    fn invalidate_profile_prevents_serving_stale_entries() {
+        // A distinctive graph unlikely to collide with other tests'
+        // cache entries.
+        let b = BeliefFunction::from_intervals(vec![(0.0, 1.0), (0.25, 0.75), (0.5, 0.5)]).unwrap();
+        let g = b.build_graph(&[9u64, 5, 13], 26);
+        let fp = graph_fingerprint(&g);
+
+        let plain = cached_profile(&g, false).unwrap();
+        let prop = cached_profile(&g, true).unwrap();
+        // Both flavors are cached: a second lookup shares the Arc.
+        assert!(Arc::ptr_eq(&plain, &cached_profile(&g, false).unwrap()));
+        assert!(Arc::ptr_eq(&prop, &cached_profile(&g, true).unwrap()));
+
+        // Invalidation removes both variants...
+        assert_eq!(invalidate_profile(fp), 2);
+        assert!(lock_cache().get(&(fp, false)).is_none());
+        assert!(lock_cache().get(&(fp, true)).is_none());
+        // ...and is idempotent.
+        assert_eq!(invalidate_profile(fp), 0);
+
+        // The stale Arcs can never be served again: the next lookup
+        // rebuilds fresh allocations that still agree with direct
+        // construction bit-for-bit.
+        let fresh = cached_profile(&g, false).unwrap();
+        assert!(
+            !Arc::ptr_eq(&plain, &fresh),
+            "stale entry served after invalidation"
+        );
+        assert_eq!(
+            fresh.probabilities(),
+            OutdegreeProfile::plain(&g).probabilities()
         );
     }
 

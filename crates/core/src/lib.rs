@@ -60,6 +60,7 @@ pub mod chain;
 pub mod error;
 pub mod estimate;
 pub mod formulas;
+pub mod incremental;
 pub mod interest;
 pub mod itemsets;
 pub mod oestimate;
@@ -76,7 +77,15 @@ pub use anonymize::AnonymizationMapping;
 pub use belief::BeliefFunction;
 pub use chain::ChainSpec;
 pub use error::{AndiError, Error, Result};
-pub use estimate::{best_expected_cracks, cached_profile, CrackEstimate, EstimateMethod};
+pub use estimate::{
+    best_expected_cracks, cached_profile, graph_fingerprint, invalidate_profile, CrackEstimate,
+    EstimateMethod,
+};
+pub use incremental::{
+    apply_edits_to_summary, summary_fingerprint, DeltaAssessment, DeltaBatch, DeltaProvenance,
+    Edit, IncrementalEngine,
+};
+
 pub use formulas::{
     ignorant_expected_cracks, ignorant_expected_cracks_of_subset, point_valued_expected_cracks,
     point_valued_expected_cracks_of_subset,

@@ -1,0 +1,184 @@
+//! Property tests of the `DeltaBatch` algebra behind the incremental
+//! risk engine:
+//!
+//! * `apply(a)` then `apply(b)` reaches the same state — fingerprint
+//!   and assessment bits — as `apply(a ⧺ b)`;
+//! * the empty batch is the identity;
+//! * inserting a transaction and then deleting it restores the
+//!   database fingerprint exactly.
+//!
+//! Assessments are compared at thread counts 1 and 4; equality is
+//! always `to_bits`, never an epsilon.
+
+use andi_core::parallel::Budget;
+use andi_core::{summary_fingerprint, DeltaBatch, Edit, IncrementalEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// Strategy: a small summary (supports over m) plus seeded intervals.
+fn summary() -> impl Strategy<Value = (Vec<u64>, u64, u64)> {
+    (4u64..40, 1u64..u64::MAX)
+        .prop_flat_map(|(m, seed)| (prop::collection::vec(0..=m, 2..10), Just(m), Just(seed)))
+}
+
+/// Seeded random belief intervals: a mix of full ignorance, wide, and
+/// point beliefs so both reused and recomputed (and empty-window)
+/// groups occur.
+fn intervals_for(n: usize, rng: &mut StdRng) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => (0.0, 1.0),
+            1 => {
+                let a: f64 = rng.gen_range(0.0..1.0);
+                let b: f64 = rng.gen_range(0.0..1.0);
+                (a.min(b), a.max(b))
+            }
+            _ => {
+                let p: f64 = rng.gen_range(0.0..1.0);
+                (p, p)
+            }
+        })
+        .collect()
+}
+
+/// A strictly increasing non-empty item subset.
+fn random_items(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    loop {
+        let items: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.4)).collect();
+        if !items.is_empty() {
+            return items;
+        }
+    }
+}
+
+/// Generates `k` edits that stay valid against the running summary.
+/// Candidates are screened with `apply_edits_to_summary`; inserts are
+/// the always-valid fallback.
+fn random_batch(rng: &mut StdRng, supports: &mut Vec<u64>, m: &mut u64, k: usize) -> DeltaBatch {
+    let n = supports.len();
+    let mut edits = Vec::with_capacity(k);
+    for _ in 0..k {
+        let candidate = match rng.gen_range(0..3u32) {
+            0 => Edit::Insert {
+                items: random_items(rng, n),
+            },
+            1 => Edit::Delete {
+                items: random_items(rng, n),
+            },
+            _ => Edit::Replace {
+                old: random_items(rng, n),
+                new: random_items(rng, n),
+            },
+        };
+        let single = DeltaBatch::new(vec![candidate.clone()]);
+        let chosen = match andi_core::apply_edits_to_summary(supports, *m, &single) {
+            Ok((s, new_m)) => {
+                *supports = s;
+                *m = new_m;
+                candidate
+            }
+            Err(_) => {
+                let items = random_items(rng, n);
+                for &i in &items {
+                    supports[i] += 1;
+                }
+                *m += 1;
+                Edit::Insert { items }
+            }
+        };
+        edits.push(chosen);
+    }
+    DeltaBatch::new(edits)
+}
+
+/// Asserts two engines agree bit-for-bit: fingerprint, O-estimate,
+/// and every per-item probability, at both thread counts.
+fn assert_engines_identical(a: &mut IncrementalEngine, b: &mut IncrementalEngine, what: &str) {
+    assert_eq!(
+        a.summary_fingerprint(),
+        b.summary_fingerprint(),
+        "{what}: fingerprint"
+    );
+    let budget = Budget::unlimited();
+    for t in THREADS {
+        let x = a.assess_risk_delta(t, &budget).unwrap();
+        let y = b.assess_risk_delta(t, &budget).unwrap();
+        assert_eq!(
+            x.expected_cracks.to_bits(),
+            y.expected_cracks.to_bits(),
+            "{what}: O-estimate at threads {t}"
+        );
+        assert_eq!(x.probabilities.len(), y.probabilities.len());
+        for (i, (p, q)) in x.probabilities.iter().zip(&y.probabilities).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: item {i} at threads {t}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `apply(a) ∘ apply(b)` ≡ `apply(a ⧺ b)`, in state and in bits.
+    #[test]
+    fn sequential_application_equals_concatenation(
+        (supports, m, seed) in summary(),
+        ka in 1usize..5,
+        kb in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let intervals = intervals_for(supports.len(), &mut rng);
+        let (mut s, mut cur_m) = (supports.clone(), m);
+        let a = random_batch(&mut rng, &mut s, &mut cur_m, ka);
+        let b = random_batch(&mut rng, &mut s, &mut cur_m, kb);
+
+        let mut seq = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        seq.apply(&a).unwrap();
+        // Interleave an assessment so the second batch lands on a
+        // warm (partially reused) engine, not a fresh one.
+        seq.assess_risk_delta(1, &Budget::unlimited()).unwrap();
+        seq.apply(&b).unwrap();
+
+        let mut whole = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        whole.apply(&a.clone().concat(b)).unwrap();
+
+        assert_engines_identical(&mut seq, &mut whole, "a;b vs a++b");
+        prop_assert_eq!(seq.summary_fingerprint(), summary_fingerprint(&s, cur_m));
+    }
+
+    /// The empty batch changes nothing — not the fingerprint, not a
+    /// single probability bit.
+    #[test]
+    fn empty_batch_is_the_identity((supports, m, seed) in summary()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let intervals = intervals_for(supports.len(), &mut rng);
+        let mut touched = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        let mut pristine = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        touched.apply(&DeltaBatch::empty()).unwrap();
+        assert_engines_identical(&mut touched, &mut pristine, "empty batch");
+    }
+
+    /// Insert a transaction, delete the same transaction: the summary
+    /// fingerprint round-trips, and the assessment agrees with an
+    /// engine that never moved.
+    #[test]
+    fn insert_then_delete_round_trips(
+        (supports, m, seed) in summary(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let intervals = intervals_for(supports.len(), &mut rng);
+        let items = random_items(&mut rng, supports.len());
+        let before = summary_fingerprint(&supports, m);
+
+        let mut engine = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        engine.apply(&DeltaBatch::new(vec![Edit::Insert { items: items.clone() }])).unwrap();
+        prop_assert!(engine.summary_fingerprint() != before, "insert must move the summary");
+        engine.apply(&DeltaBatch::new(vec![Edit::Delete { items }])).unwrap();
+        prop_assert_eq!(engine.summary_fingerprint(), before);
+
+        let mut pristine = IncrementalEngine::new(&supports, m, &intervals).unwrap();
+        assert_engines_identical(&mut engine, &mut pristine, "insert/delete round trip");
+    }
+}

@@ -49,7 +49,7 @@ pub use exact::{
     try_expected_cracks, try_expected_cracks_with_threads, ExactError,
 };
 pub use faults::{FaultMode, FaultSchedule, FAULTS_ENV};
-pub use grouped::{BeliefGroup, FrequencyScaffold, GroupedBigraph, Matching};
+pub use grouped::{support_window, BeliefGroup, FrequencyScaffold, GroupedBigraph, Matching};
 pub use matching::{has_perfect_matching, hopcroft_karp};
 pub use par::{try_map_indexed, Budget, CancelToken, ExecError};
 pub use permanent::{

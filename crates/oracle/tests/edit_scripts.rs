@@ -1,0 +1,97 @@
+//! Metamorphic battery for the incremental risk engine: after every
+//! prefix of every generated edit script, the delta-updated
+//! assessment must be bit-identical to a from-scratch recompute, at
+//! every thread count. CI runs this under two `ANDI_FAULTS` schedules
+//! on top of `ANDI_THREADS` {1, 4}; a failing script is shrunk and
+//! written to `$ANDI_SHRINK_OUT` before the test panics.
+//!
+//! A rate-zero fault schedule is installed (under `FAULT_LOCK`) so a
+//! chaos schedule from the ambient environment cannot make this suite
+//! flaky: determinism under injected faults is the chaos suite's job;
+//! this suite pins the equivalence itself.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use andi_graph::faults::FaultSchedule;
+use andi_oracle::corpus;
+use andi_oracle::editscript::{check_script, generate_script, shrink_script, EditScriptCase};
+use andi_oracle::instance::Regime;
+
+/// Serializes fault-schedule installation across this binary's tests.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// Checks one script; on failure shrinks it, writes the reproduction
+/// to `$ANDI_SHRINK_OUT` (when set), and panics with the diagnosis.
+fn check_or_shrink(case: &EditScriptCase) {
+    let Err(err) = check_script(case, &THREADS) else {
+        return;
+    };
+    let shrunk = shrink_script(case, |c| check_script(c, &THREADS).is_err());
+    if let Ok(dir) = std::env::var("ANDI_SHRINK_OUT") {
+        match corpus::save_script(&PathBuf::from(&dir), &shrunk) {
+            Ok(path) => eprintln!("shrunk edit script written to {}", path.display()),
+            Err(e) => eprintln!("could not write shrunk edit script: {e}"),
+        }
+    }
+    panic!(
+        "{}: {err} (shrunk from {} to {} edits)",
+        case.base.label,
+        case.edits.len(),
+        shrunk.edits.len()
+    );
+}
+
+#[test]
+fn generated_scripts_stay_bit_identical_across_all_regimes() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FaultSchedule::parse("1:0").unwrap().install();
+    for regime in Regime::ALL {
+        for index in 0..3u64 {
+            check_or_shrink(&generate_script(7, index, regime));
+        }
+    }
+}
+
+#[test]
+fn a_second_seed_stream_stays_bit_identical() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FaultSchedule::parse("1:0").unwrap().install();
+    for regime in Regime::ALL {
+        check_or_shrink(&generate_script(101, 0, regime));
+    }
+}
+
+#[test]
+fn committed_edit_script_corpus_replays_clean() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FaultSchedule::parse("1:0").unwrap().install();
+    let entries =
+        corpus::load_script_dir(&corpus::edit_scripts_dir()).expect("edit-script corpus loads");
+    assert!(
+        entries.len() >= 6,
+        "edit-script corpus unexpectedly small: {} files",
+        entries.len()
+    );
+    let mut regimes_seen = std::collections::BTreeSet::new();
+    for (path, case) in &entries {
+        // The committed text is canonical: parse ∘ print is identity.
+        let reprinted = EditScriptCase::from_text(&case.to_text())
+            .unwrap_or_else(|e| panic!("{}: reprint does not parse: {e}", path.display()));
+        assert_eq!(
+            reprinted.to_text(),
+            case.to_text(),
+            "{}: non-canonical text",
+            path.display()
+        );
+        regimes_seen.insert(case.base.regime as u64);
+        check_or_shrink(case);
+    }
+    assert_eq!(
+        regimes_seen.len(),
+        Regime::ALL.len(),
+        "the committed corpus must cover every generation regime"
+    );
+}

@@ -47,6 +47,7 @@ pub struct CacheStats {
     evictions: AtomicU64,
     failures: AtomicU64,
     waiters: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CacheStats {
@@ -81,15 +82,21 @@ impl CacheStats {
         self.waiters.load(Ordering::Relaxed)
     }
 
+    /// Explicitly-invalidated entry count (delta updates).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
     /// Renders the counters as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"hits\":{},\"misses\":{},\"joins\":{},\"evictions\":{},\"failures\":{}}}",
+            "{{\"hits\":{},\"misses\":{},\"joins\":{},\"evictions\":{},\"failures\":{},\"invalidations\":{}}}",
             self.hits(),
             self.misses(),
             self.joins(),
             self.evictions(),
-            self.failures()
+            self.failures(),
+            self.invalidations()
         )
     }
 }
@@ -259,6 +266,23 @@ impl<V: Clone> ShardedCache<V> {
                 Err(e)
             }
         }
+    }
+
+    /// Explicitly removes a cached entry, returning whether one was
+    /// present. This is the delta-update path: a `POST /update`
+    /// invalidates exactly the entries whose fingerprints it affects,
+    /// touching only the one shard that owns the key. An in-flight
+    /// computation for the key is untouched — its value is derived
+    /// from the key (content-addressed), so whatever it stores is
+    /// correct *for that key*; invalidation exists for callers that
+    /// re-derive keys from mutable identifiers.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let shard = self.shard_of(key);
+        let removed = shard.lock().entries.remove(&key).is_some();
+        if removed {
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Total cached entries across all shards (for stats/tests).

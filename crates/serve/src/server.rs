@@ -27,6 +27,7 @@
 //! is bit-identical to the cold path and a seeded load run reproduces
 //! its exact response multiset.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,11 +35,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use andi_core::incremental::{apply_edits_to_summary, DeltaBatch};
 use andi_core::recipe::{ladder_crack_probabilities, RecipeConfig};
 use andi_core::report::Provenance;
 use andi_core::Error;
 use andi_graph::par::{self, Budget, CancelToken, WorkerHandle};
 use andi_graph::{faults, FrequencyScaffold};
+use andi_oracle::editscript::parse_edit;
 use andi_oracle::instance::{json_string, Instance};
 use andi_oracle::serial::{error_to_json, provenance_to_json};
 
@@ -170,6 +173,12 @@ struct Shared {
     stats: ServerStats,
     results: ShardedCache<Arc<str>>,
     scaffolds: ShardedCache<Arc<FrequencyScaffold>>,
+    /// Secondary index database fingerprint -> result-cache keys, so
+    /// `POST /update` can invalidate exactly the cached results whose
+    /// database changed. Bounded; eviction only widens invalidation
+    /// misses into plain cache misses, never staleness (result keys
+    /// are content-addressed).
+    db_index: Mutex<BTreeMap<u64, BTreeSet<u64>>>,
     watch: Watchlist,
     draining: AtomicBool,
     request_seq: AtomicU64,
@@ -229,6 +238,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         stats: ServerStats::default(),
         results: ShardedCache::new(cfg.cache_cap_per_shard),
         scaffolds: ShardedCache::new(cfg.cache_cap_per_shard),
+        db_index: Mutex::new(BTreeMap::new()),
         watch: Watchlist::default(),
         draining: AtomicBool::new(false),
         request_seq: AtomicU64::new(0),
@@ -443,7 +453,8 @@ fn route(shared: &Shared, req: &Request, seq: u64, stream: &TcpStream) -> Respon
         ("GET", "/health") => Response::json(200, "{\"ok\":true}"),
         ("GET", "/stats") => Response::json(200, stats_json(shared)),
         ("POST", "/assess") => assess(shared, req, stream),
-        (_, "/health" | "/stats" | "/assess") => Response::json(
+        ("POST", "/update") => update(shared, req),
+        (_, "/health" | "/stats" | "/assess" | "/update") => Response::json(
             405,
             format!(
                 "{{\"kind\":\"method-not-allowed\",\"method\":{}}}",
@@ -485,8 +496,9 @@ fn assess(shared: &Shared, req: &Request, stream: &TcpStream) -> Response {
     // the entry done for the watcher.
     let _watch = shared.watch.register(stream, token.clone());
 
-    let db_key = database_fingerprint(&instance);
+    let db_key = database_fingerprint(instance.m, &instance.supports);
     let result_key = result_fingerprint(db_key, &instance);
+    index_result_key(shared, db_key, result_key);
     let computed = shared.results.get_or_compute(result_key, || {
         compute_assess(shared, &instance, db_key, &budget)
     });
@@ -604,14 +616,168 @@ fn outcome_name(outcome: Outcome) -> &'static str {
     }
 }
 
-/// Belief-independent fingerprint of the database summary.
-fn database_fingerprint(instance: &Instance) -> u64 {
-    let mut h = fnv1a_u64(FNV_OFFSET, instance.m);
-    h = fnv1a_u64(h, instance.supports.len() as u64);
-    for &s in &instance.supports {
+/// Belief-independent fingerprint of a database summary.
+fn database_fingerprint(m: u64, supports: &[u64]) -> u64 {
+    let mut h = fnv1a_u64(FNV_OFFSET, m);
+    h = fnv1a_u64(h, supports.len() as u64);
+    for &s in supports {
         h = fnv1a_u64(h, s);
     }
     h
+}
+
+/// How many database entries (and result keys per database) the
+/// invalidation index retains. Eviction is deterministic
+/// (`pop_first`) and safe: an evicted key merely escapes targeted
+/// invalidation, and result keys are content-addressed so it can
+/// never be served for a *different* database.
+const DB_INDEX_CAP: usize = 1024;
+
+/// Records that `result_key` was derived from `db_key`, for
+/// `POST /update` invalidation.
+fn index_result_key(shared: &Shared, db_key: u64, result_key: u64) {
+    let mut index = shared.db_index.lock().unwrap_or_else(|e| e.into_inner());
+    if !index.contains_key(&db_key) && index.len() >= DB_INDEX_CAP {
+        index.pop_first();
+    }
+    let keys = index.entry(db_key).or_default();
+    if keys.len() >= DB_INDEX_CAP {
+        keys.pop_first();
+    }
+    keys.insert(result_key);
+}
+
+/// `POST /update`: applies a [`DeltaBatch`] to a database summary and
+/// invalidates exactly the cache entries the edit affects — the old
+/// summary's scaffold and every indexed result key — then warms the
+/// scaffold cache for the edited summary so the next `/assess`
+/// against it starts from a hit.
+///
+/// Body format (line-oriented, like the oracle formats):
+///
+/// ```text
+/// andi-serve update v1
+/// m: 10
+/// supports: 5 4 5 5 3 5
+/// edit: insert 1 4
+/// edit: replace 0 / 2
+/// ```
+fn update(shared: &Shared, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            return Response::json(
+                400,
+                "{\"kind\":\"malformed\",\"message\":\"body is not utf-8\"}",
+            )
+        }
+    };
+    let parsed = match parse_update(text) {
+        Ok(p) => p,
+        Err(message) => {
+            return Response::json(
+                400,
+                format!(
+                    "{{\"kind\":\"invalid-update\",\"message\":{}}}",
+                    json_string(&message)
+                ),
+            )
+        }
+    };
+    let (m, supports, batch) = parsed;
+    let (new_supports, new_m) = match apply_edits_to_summary(&supports, m, &batch) {
+        Ok(edited) => edited,
+        Err(e) => return core_error_response(&e),
+    };
+
+    let old_db = database_fingerprint(m, &supports);
+    let new_db = database_fingerprint(new_m, &new_supports);
+    let scaffold_invalidated = shared.scaffolds.invalidate(old_db);
+    let stale_results = shared
+        .db_index
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&old_db)
+        .unwrap_or_default();
+    let mut results_invalidated = 0usize;
+    for key in stale_results {
+        if shared.results.invalidate(key) {
+            results_invalidated += 1;
+        }
+    }
+    // Warm the edited summary's scaffold so write traffic keeps the
+    // cache hot instead of just cold.
+    let warmed = shared
+        .scaffolds
+        .get_or_compute(new_db, || {
+            Ok::<_, std::convert::Infallible>(Arc::new(FrequencyScaffold::new(
+                &new_supports,
+                new_m,
+            )))
+        })
+        .is_ok();
+    Response::json(
+        200,
+        format!(
+            "{{\"kind\":\"updated\",\"edits\":{},\"old_db\":\"{:016x}\",\
+             \"new_db\":\"{:016x}\",\"scaffold_invalidated\":{},\
+             \"results_invalidated\":{},\"warmed\":{}}}",
+            batch.len(),
+            old_db,
+            new_db,
+            scaffold_invalidated,
+            results_invalidated,
+            warmed
+        ),
+    )
+}
+
+/// Parses the `/update` body into `(m, supports, batch)`. Error
+/// messages are structural only — they never echo supports or item
+/// values.
+fn parse_update(text: &str) -> Result<(u64, Vec<u64>, DeltaBatch), String> {
+    const UPDATE_HEADER: &str = "andi-serve update v1";
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header.trim() != UPDATE_HEADER {
+        return Err(format!("bad header (want {UPDATE_HEADER:?})"));
+    }
+    let mut m: Option<u64> = None;
+    let mut supports: Option<Vec<u64>> = None;
+    let mut edits = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or("missing ':' in a body line")?;
+        let value = value.trim();
+        match key.trim() {
+            "m" => m = Some(value.parse::<u64>().map_err(|_| "m is not a number")?),
+            "supports" => {
+                supports = Some(
+                    value
+                        .split_whitespace()
+                        .map(|t| t.parse::<u64>().map_err(|_| "a support is not a number"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "edit" => edits.push(parse_edit(value).map_err(|e| e.to_string())?),
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let m = m.ok_or("missing m")?;
+    let supports = supports.ok_or("missing supports")?;
+    if supports.is_empty() {
+        return Err("supports must name at least one item".into());
+    }
+    if m == 0 {
+        return Err("m must be positive".into());
+    }
+    if supports.iter().any(|&s| s > m) {
+        return Err("a support exceeds the transaction count".into());
+    }
+    Ok((m, supports, DeltaBatch::new(edits)))
 }
 
 /// Full result fingerprint: database + belief intervals. The label,

@@ -1,0 +1,193 @@
+//! `POST /update`: delta application and exact cache invalidation.
+
+use andi_oracle::instance::{Instance, Regime};
+use andi_serve::http::response_header;
+use andi_serve::{start, Client, ServeConfig};
+
+fn bigmart_instance() -> Instance {
+    Instance {
+        label: "paper:bigmart-h".to_string(),
+        regime: Regime::Ignorant,
+        supports: vec![5, 4, 5, 5, 3, 5],
+        m: 10,
+        intervals: vec![
+            (0.0, 1.0),
+            (0.4, 0.5),
+            (0.5, 0.5),
+            (0.4, 0.6),
+            (0.1, 0.4),
+            (0.5, 0.5),
+        ],
+        mask: None,
+    }
+}
+
+fn update_body(m: u64, supports: &[u64], edits: &[&str]) -> String {
+    let words: Vec<String> = supports.iter().map(u64::to_string).collect();
+    let mut body = format!(
+        "andi-serve update v1\nm: {m}\nsupports: {}\n",
+        words.join(" ")
+    );
+    for edit in edits {
+        body.push_str(&format!("edit: {edit}\n"));
+    }
+    body
+}
+
+#[test]
+fn update_invalidates_exactly_the_affected_entries() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let instance = bigmart_instance();
+    let body = instance.to_text();
+
+    // An unrelated database whose cache entry must survive the update.
+    let mut other = bigmart_instance();
+    other.supports = vec![7, 2, 7, 7, 1, 7];
+    other.intervals = vec![(0.0, 1.0); 6];
+    let other_body = other.to_text();
+
+    let cold = client.request("POST", "/assess", body.as_bytes()).unwrap();
+    assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+    assert_eq!(response_header(&cold, "x-andi-cache"), Some("miss"));
+    let other_cold = client
+        .request("POST", "/assess", other_body.as_bytes())
+        .unwrap();
+    assert_eq!(other_cold.status, 200);
+
+    let hit = client.request("POST", "/assess", body.as_bytes()).unwrap();
+    assert_eq!(response_header(&hit, "x-andi-cache"), Some("hit"));
+
+    // Append one transaction {1, 4} to the bigmart database.
+    let upd = update_body(instance.m, &instance.supports, &["insert 1 4"]);
+    let resp = client.request("POST", "/update", upd.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let text = std::str::from_utf8(&resp.body).unwrap();
+    assert!(text.contains("\"kind\":\"updated\""), "{text}");
+    assert!(text.contains("\"edits\":1"), "{text}");
+    assert!(text.contains("\"scaffold_invalidated\":true"), "{text}");
+    assert!(text.contains("\"results_invalidated\":1"), "{text}");
+    assert!(text.contains("\"warmed\":true"), "{text}");
+
+    // The stale result for the pre-edit database can never be
+    // served: the same request now recomputes (miss, not hit) — and,
+    // being content-addressed, reproduces the same bytes.
+    let recomputed = client.request("POST", "/assess", body.as_bytes()).unwrap();
+    assert_eq!(recomputed.status, 200);
+    assert_eq!(response_header(&recomputed, "x-andi-cache"), Some("miss"));
+    assert_eq!(cold.body, recomputed.body);
+
+    // The unrelated database's entry was untouched.
+    let other_hit = client
+        .request("POST", "/assess", other_body.as_bytes())
+        .unwrap();
+    assert_eq!(response_header(&other_hit, "x-andi-cache"), Some("hit"));
+    assert_eq!(other_cold.body, other_hit.body);
+
+    // The post-edit database was warmed: its first assessment reuses
+    // the scaffold the update built (scaffold-cache hit).
+    let stats_before = client.request("GET", "/stats", b"").unwrap();
+    let before = std::str::from_utf8(&stats_before.body).unwrap().to_string();
+    let mut edited = bigmart_instance();
+    edited.supports = vec![5, 5, 5, 5, 4, 5];
+    edited.m = 11;
+    edited.intervals = vec![(0.0, 1.0); 6];
+    let edited_resp = client
+        .request("POST", "/assess", edited.to_text().as_bytes())
+        .unwrap();
+    assert_eq!(edited_resp.status, 200);
+    let stats_after = client.request("GET", "/stats", b"").unwrap();
+    let after = std::str::from_utf8(&stats_after.body).unwrap().to_string();
+    let hits = |s: &str| {
+        let ix = s.find("\"scaffold_cache\":").unwrap();
+        let rest = &s[ix..];
+        let h = rest.find("\"hits\":").unwrap() + "\"hits\":".len();
+        rest[h..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert!(
+        hits(&after) > hits(&before),
+        "warmed scaffold not reused: before {before} after {after}"
+    );
+    assert!(
+        after.contains("\"invalidations\":1"),
+        "result-cache invalidation count missing: {after}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn update_validates_body_and_edits() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Bad header.
+    let resp = client.request("POST", "/update", b"wrong header").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(std::str::from_utf8(&resp.body)
+        .unwrap()
+        .contains("invalid-update"));
+
+    // Missing supports.
+    let resp = client
+        .request("POST", "/update", b"andi-serve update v1\nm: 5\n")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Support exceeding m.
+    let resp = client
+        .request(
+            "POST",
+            "/update",
+            b"andi-serve update v1\nm: 5\nsupports: 9\nedit: insert 0\n",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Unknown edit verb.
+    let resp = client
+        .request(
+            "POST",
+            "/update",
+            b"andi-serve update v1\nm: 5\nsupports: 3 2\nedit: explode 0\n",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Structurally valid body, inapplicable edit (deleting a
+    // transaction not naming the full-support item).
+    let resp = client
+        .request(
+            "POST",
+            "/update",
+            b"andi-serve update v1\nm: 3\nsupports: 3 1\nedit: delete 1\n",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+
+    // Wrong method.
+    let resp = client.request("GET", "/update", b"").unwrap();
+    assert_eq!(resp.status, 405);
+
+    handle.shutdown();
+}
+
+#[test]
+fn update_with_no_prior_traffic_is_a_clean_noop_invalidation() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let body = update_body(10, &[5, 4, 5, 5, 3, 5], &["replace 1 / 4", "insert 0 2"]);
+    let resp = client.request("POST", "/update", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let text = std::str::from_utf8(&resp.body).unwrap();
+    assert!(text.contains("\"edits\":2"), "{text}");
+    assert!(text.contains("\"scaffold_invalidated\":false"), "{text}");
+    assert!(text.contains("\"results_invalidated\":0"), "{text}");
+    assert!(text.contains("\"warmed\":true"), "{text}");
+    handle.shutdown();
+}

@@ -304,3 +304,82 @@ fn ambient_schedule_outcome_is_thread_count_invariant() {
         );
     }
 }
+
+#[test]
+fn fault_mid_delta_leaves_the_incremental_engine_consistent() {
+    use andi::core::{DeltaBatch, Edit, IncrementalEngine};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let _serial = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let supports = supports16();
+    // Point beliefs at the true frequency for odd items, ignorance
+    // for even ones: a mix of populated and reusable groups.
+    let intervals: Vec<(f64, f64)> = supports
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if i % 2 == 0 {
+                (0.0, 1.0)
+            } else {
+                (s as f64 / M as f64, s as f64 / M as f64)
+            }
+        })
+        .collect();
+    let batch = DeltaBatch::new(vec![
+        Edit::Insert {
+            items: vec![0, 3, 7],
+        },
+        Edit::Replace {
+            old: vec![0],
+            new: vec![5, 9],
+        },
+        Edit::Delete { items: vec![3, 7] },
+    ]);
+
+    // Whatever a schedule injects mid-delta — a panic out of the
+    // staging probe, an isolated worker panic during assessment, or
+    // nothing — the engine must stay consistent: once faults stop,
+    // its incremental answer is bit-identical to a from-scratch
+    // recompute of whatever summary it actually holds.
+    for spec in ["7:1.0", "3:0.2", "11:0.35", "13:0.4:mix"] {
+        let mut engine = IncrementalEngine::new(&supports, M, &intervals).unwrap();
+        let before = engine.summary_fingerprint();
+        let committed;
+        {
+            let _guard = FaultSchedule::parse(spec).unwrap().install();
+            let applied = catch_unwind(AssertUnwindSafe(|| engine.apply(&batch)));
+            committed = matches!(applied, Ok(Ok(())));
+            // An assessment attempt under faults may fail with an
+            // isolated worker panic; it must never corrupt the cache.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                engine.assess_risk_delta(4, &Budget::unlimited())
+            }));
+        }
+        // Apply is transactional: it either fully committed or left
+        // the summary untouched.
+        if committed {
+            assert_ne!(engine.summary_fingerprint(), before, "spec={spec}");
+        } else {
+            assert_eq!(engine.summary_fingerprint(), before, "spec={spec}");
+        }
+        let _quiet = FaultSchedule::parse("1:0").unwrap().install();
+        for threads in [1usize, 4] {
+            let out = engine
+                .assess_risk_delta(threads, &Budget::unlimited())
+                .unwrap();
+            let (oe, probs) = engine.assess_from_scratch();
+            assert_eq!(
+                out.expected_cracks.to_bits(),
+                oe.to_bits(),
+                "spec={spec} threads={threads}: O-estimate diverged after fault"
+            );
+            for (i, (a, b)) in out.probabilities.iter().zip(&probs).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "spec={spec} threads={threads} item={i}"
+                );
+            }
+        }
+    }
+}
